@@ -1,0 +1,102 @@
+// Command momexp regenerates the paper's evaluation: every table and
+// figure of "Three-Dimensional Memory Vectorization for High Bandwidth
+// Media Memory Systems" (MICRO-35), over the built-in benchmark suite.
+//
+// Usage:
+//
+//	momexp              regenerate everything
+//	momexp -fig 9       one figure (3, 6, 7, 9, 10, 11)
+//	momexp -table 4     one table (1, 2, 3, 4)
+//	momexp -headline    the abstract's summary numbers
+//	momexp -q           suppress per-simulation progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate a single figure (3, 6, 7, 9, 10, 11)")
+	table := flag.Int("table", 0, "regenerate a single table (1..4)")
+	headline := flag.Bool("headline", false, "print only the headline summary")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	if !*quiet {
+		r.Progress = func(k experiments.SimKey) {
+			fmt.Fprintf(os.Stderr, "sim %-12s %-6s %-18s L2=%d\n", k.Bench, k.Variant, k.Mem, k.L2Lat)
+		}
+	}
+
+	switch {
+	case *headline:
+		fmt.Print(experiments.ComputeHeadline(r).Render())
+	case *fig != 0:
+		printFigure(r, *fig)
+	case *table != 0:
+		printTable(r, *table)
+	default:
+		for _, t := range []int{1, 2, 3} {
+			printTable(r, t)
+			fmt.Println()
+		}
+		printFigure(r, 3)
+		fmt.Println()
+		printFigure(r, 6)
+		fmt.Println()
+		printFigure(r, 7)
+		fmt.Println()
+		printTable(r, 4)
+		fmt.Println()
+		printFigure(r, 9)
+		fmt.Println()
+		printFigure(r, 10)
+		fmt.Println()
+		printFigure(r, 11)
+		fmt.Println()
+		fmt.Print(experiments.ComputeHeadline(r).Render())
+	}
+}
+
+func printFigure(r *experiments.Runner, n int) {
+	var f *experiments.Figure
+	switch n {
+	case 3:
+		f = experiments.Figure3(r)
+	case 6:
+		f = experiments.Figure6(r)
+	case 7:
+		f = experiments.Figure7(r)
+	case 9:
+		f = experiments.Figure9(r)
+	case 10:
+		f = experiments.Figure10(r)
+	case 11:
+		f = experiments.Figure11(r)
+	default:
+		fmt.Fprintf(os.Stderr, "momexp: unknown figure %d\n", n)
+		os.Exit(2)
+	}
+	fmt.Print(f.Render())
+}
+
+func printTable(r *experiments.Runner, n int) {
+	switch n {
+	case 1:
+		fmt.Print(experiments.RenderTable1(experiments.Table1(r)))
+	case 2:
+		fmt.Print(experiments.Table2())
+	case 3:
+		fmt.Print(experiments.Table3())
+	case 4:
+		fmt.Print(experiments.RenderTable4(experiments.Table4(r)))
+	default:
+		fmt.Fprintf(os.Stderr, "momexp: unknown table %d\n", n)
+		os.Exit(2)
+	}
+}

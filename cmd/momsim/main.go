@@ -1,0 +1,123 @@
+// Command momsim runs one benchmark through the cycle simulator in one
+// configuration and prints the timing, memory and trace statistics.
+//
+// Usage:
+//
+//	momsim -bench mpeg2encode -isa mom3d -mem vcache3d -l2 20
+//
+// ISA variants: mmx, mom, mom3d. Memory systems: ideal, multibanked,
+// vcache, vcache3d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+func main() {
+	benchName := flag.String("bench", "mpeg2encode", "benchmark: mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode")
+	isaName := flag.String("isa", "mom3d", "ISA variant: mmx, mom, mom3d")
+	memName := flag.String("mem", "vcache3d", "memory system: ideal, multibanked, vcache, vcache3d")
+	l2lat := flag.Int64("l2", 20, "L2 cache latency in cycles")
+	memLat := flag.Int64("mlat", 100, "main memory latency beyond L2 in cycles")
+	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
+	verify := flag.Bool("verify", true, "check the kernel output against the scalar reference")
+	flag.Parse()
+
+	bm, ok := kernels.ByName(*benchName)
+	if !ok {
+		fail("unknown benchmark %q", *benchName)
+	}
+	variant, cfg, err := parseISA(*isaName)
+	if err != nil {
+		fail("%v", err)
+	}
+	memKind, err := parseMem(*memName)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.UseGshare = *gshare
+
+	tr := &trace.Trace{}
+	tst := trace.NewStats()
+	digest := bm.Run(variant, trace.Multi{tr, tst})
+	if *verify {
+		ref := bm.Reference()
+		if string(digest) != string(ref) {
+			fail("kernel output does not match the scalar reference")
+		}
+	}
+
+	tim := vmem.Timing{L2Latency: *l2lat, MemLatency: *memLat}
+	ms := core.NewMemSystem(memKind, tim, cfg.Lanes, variant == kernels.MMX && memKind != core.MemIdeal)
+	st := core.Simulate(cfg, ms, tr.Insts)
+
+	fmt.Printf("benchmark:   %s (%s, %s, L2=%d cycles)\n", bm.Name, variant, memKind, *l2lat)
+	fmt.Printf("instructions: %d  cycles: %d  IPC: %.3f\n", st.Committed, st.Cycles, st.IPC())
+	if *verify {
+		fmt.Println("output verified against the scalar reference")
+	}
+	fmt.Println()
+	fmt.Print(tst.String())
+	fmt.Println()
+	vs := ms.VM.Stats()
+	fmt.Printf("vector memory: %d instructions, %d accesses, %d words, %d misses\n",
+		vs.Instructions, vs.Accesses, vs.Words, vs.Misses)
+	if vs.Accesses > 0 {
+		fmt.Printf("effective bandwidth: %.2f words/access\n", vs.EffectiveBandwidth())
+	}
+	if vs.Conflicts > 0 {
+		fmt.Printf("bank conflicts: %d\n", vs.Conflicts)
+	}
+	if vs.Invalidates > 0 {
+		fmt.Printf("L1 coherence invalidations: %d\n", vs.Invalidates)
+	}
+	fmt.Printf("L2 activity: %d accesses (%d from scalar misses)\n", ms.L2Activity(), ms.ScalarL2Accesses)
+	fmt.Printf("forwarded loads: %d\n", st.Forwarded)
+	if memKind != core.MemIdeal {
+		bd := power.Estimate(power.DefaultParams(), st.Cycles, vs, ms.ScalarL2Accesses, tst.D3MoveElems)
+		fmt.Printf("memory subsystem power: %.2f W (L2 %.2f, 3D RF %.3f)\n", bd.Total(), bd.L2Watts, bd.D3Watts)
+	}
+	if st.Mispredicts > 0 {
+		fmt.Printf("branch mispredicts: %d\n", st.Mispredicts)
+	}
+}
+
+func parseISA(s string) (kernels.Variant, core.Config, error) {
+	switch strings.ToLower(s) {
+	case "mmx":
+		return kernels.MMX, core.MMXCore(), nil
+	case "mom":
+		return kernels.MOM, core.MOMCore(), nil
+	case "mom3d", "mom+3d":
+		return kernels.MOM3D, core.MOMCore(), nil
+	}
+	return 0, core.Config{}, fmt.Errorf("unknown ISA %q (mmx, mom, mom3d)", s)
+}
+
+func parseMem(s string) (core.MemKind, error) {
+	switch strings.ToLower(s) {
+	case "ideal":
+		return core.MemIdeal, nil
+	case "multibanked", "mb":
+		return core.MemMultiBanked, nil
+	case "vcache", "vectorcache":
+		return core.MemVectorCache, nil
+	case "vcache3d", "vcache+3d":
+		return core.MemVectorCache3D, nil
+	}
+	return 0, fmt.Errorf("unknown memory system %q (ideal, multibanked, vcache, vcache3d)", s)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "momsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command momtrace generates a benchmark's dynamic instruction trace and
+// inspects it: stream statistics, instruction mix, Table 1 dimension
+// profile, and optionally a disassembly window.
+//
+// Usage:
+//
+//	momtrace -bench gsmencode -isa mom3d
+//	momtrace -bench mpeg2encode -isa mom3d -dump 40 -skip 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+func main() {
+	benchName := flag.String("bench", "mpeg2encode", "benchmark name")
+	isaName := flag.String("isa", "mom3d", "ISA variant: mmx, mom, mom3d")
+	dump := flag.Int("dump", 0, "disassemble this many instructions")
+	skip := flag.Int("skip", 0, "skip this many instructions before dumping")
+	flag.Parse()
+
+	bm, ok := kernels.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "momtrace: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	var variant kernels.Variant
+	switch strings.ToLower(*isaName) {
+	case "mmx":
+		variant = kernels.MMX
+	case "mom":
+		variant = kernels.MOM
+	case "mom3d", "mom+3d":
+		variant = kernels.MOM3D
+	default:
+		fmt.Fprintf(os.Stderr, "momtrace: unknown ISA %q\n", *isaName)
+		os.Exit(1)
+	}
+
+	tr := &trace.Trace{}
+	st := trace.NewStats()
+	bm.Run(variant, trace.Multi{tr, st})
+
+	fmt.Printf("%s / %s\n", bm.Name, variant)
+	fmt.Print(st.String())
+
+	d1, d2, d3, mx, has3 := st.Dims()
+	if st.VecMemInsts > 0 {
+		fmt.Printf("Table 1 dims: 1st %.1f, 2nd %.1f", d1, d2)
+		if has3 {
+			fmt.Printf(", 3rd %.1f (max %d); %.1f slices per dvload", d3, mx, st.SlicesPerLoad())
+		}
+		fmt.Println()
+	}
+
+	// Top opcodes.
+	type oc struct {
+		op isa.Op
+		n  uint64
+	}
+	var tops []oc
+	for op, n := range st.ByOp {
+		if n > 0 {
+			tops = append(tops, oc{isa.Op(op), n})
+		}
+	}
+	for i := 0; i < len(tops); i++ {
+		for j := i + 1; j < len(tops); j++ {
+			if tops[j].n > tops[i].n {
+				tops[i], tops[j] = tops[j], tops[i]
+			}
+		}
+	}
+	fmt.Println("top opcodes:")
+	for i, t := range tops {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-10s %10d\n", t.op.Name(), t.n)
+	}
+
+	if *dump > 0 {
+		fmt.Println()
+		end := *skip + *dump
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		for i := *skip; i < end; i++ {
+			fmt.Printf("%8d  %s\n", tr.Insts[i].Seq, tr.Insts[i].String())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a from-scratch reproduction of "Three-Dimensional
+// Memory Vectorization for High Bandwidth Media Memory Systems" (Corbal,
+// Espasa, Valero — MICRO-35, 2002).
+//
+// The repository contains the complete system the paper evaluates:
+//
+//   - the MOM 2D matrix ISA, an MMX-like μSIMD baseline, and the paper's
+//     3D memory vectorization extension (internal/isa, internal/usimd);
+//   - a functional emulator and trace builder (internal/emu,
+//     internal/prog) standing in for the authors' ATOM methodology;
+//   - five Mediabench-derived benchmarks, each hand-vectorized for the
+//     three ISAs and verified bit-exact against scalar references
+//     (internal/kernels, internal/media);
+//   - the cache hierarchy and the three vector memory subsystems —
+//     multi-banked, vector cache, vector cache + 3D register file
+//     (internal/cache, internal/vmem);
+//   - an 8-way out-of-order cycle simulator in MMX and MOM
+//     configurations (internal/core), standing in for Jinks;
+//   - the Rixner register-file area model reproducing Table 3 exactly
+//     (internal/vreg) and a calibrated power model (internal/power);
+//   - experiment drivers that regenerate every table and figure of the
+//     paper's evaluation (internal/experiments, cmd/momexp).
+//
+// The benchmarks in bench_test.go regenerate each table and figure; see
+// EXPERIMENTS.md for paper-vs-measured values and DESIGN.md for the
+// system inventory and substitutions.
+package repro

@@ -1,0 +1,47 @@
+// Latencysweep reproduces the paper's §6.2 robustness study (Figure 10)
+// as a standalone program: it sweeps the L2 latency from 20 to 80 cycles
+// and reports how MOM and MOM+3D execution times degrade on the
+// gsmencode and mpeg2encode workloads — the scenario of in-memory
+// processors (VIRAM-like) where no SRAM L2 exists.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+func main() {
+	lats := []int64{20, 40, 60, 80}
+	for _, bm := range []kernels.Benchmark{
+		kernels.MPEG2Encode(kernels.DefaultMPEG2EncConfig()),
+		kernels.GSMEncode(kernels.DefaultGSMEncConfig()),
+	} {
+		momTr := &trace.Trace{}
+		bm.Run(kernels.MOM, momTr)
+		d3Tr := &trace.Trace{}
+		bm.Run(kernels.MOM3D, d3Tr)
+
+		fmt.Printf("%s — normalized execution time (MOM @ 20 cycles = 1.00):\n", bm.Name)
+		fmt.Printf("%-10s %10s %10s %12s\n", "L2 lat", "MOM", "MOM+3D", "3D speedup")
+		var base int64
+		for _, lat := range lats {
+			tim := vmem.Timing{L2Latency: lat, MemLatency: 100}
+			mom := core.Simulate(core.MOMCore(),
+				core.NewMemSystem(core.MemVectorCache, tim, 4, false), momTr.Insts)
+			d3 := core.Simulate(core.MOMCore(),
+				core.NewMemSystem(core.MemVectorCache3D, tim, 4, false), d3Tr.Insts)
+			if base == 0 {
+				base = mom.Cycles
+			}
+			fmt.Printf("%-10d %10.3f %10.3f %11.1f%%\n", lat,
+				float64(mom.Cycles)/float64(base),
+				float64(d3.Cycles)/float64(base),
+				100*(float64(mom.Cycles)/float64(d3.Cycles)-1))
+		}
+		fmt.Println()
+	}
+}

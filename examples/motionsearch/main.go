@@ -1,0 +1,57 @@
+// Motionsearch runs the paper's flagship kernel — full-search motion
+// estimation (Figure 1/4 of the paper) — compiled for all three ISA
+// variants, and compares cycles, effective memory bandwidth and L2
+// activity on each variant's natural memory system.
+//
+// This is Figure 9's mpeg2encode column reproduced as a standalone
+// program.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+func main() {
+	bm := kernels.MPEG2Encode(kernels.DefaultMPEG2EncConfig())
+	ref := bm.Reference()
+
+	type cfg struct {
+		variant kernels.Variant
+		core    core.Config
+		mem     core.MemKind
+	}
+	cases := []cfg{
+		{kernels.MMX, core.MMXCore(), core.MemMultiBanked},
+		{kernels.MOM, core.MOMCore(), core.MemMultiBanked},
+		{kernels.MOM, core.MOMCore(), core.MemVectorCache},
+		{kernels.MOM3D, core.MOMCore(), core.MemVectorCache3D},
+	}
+
+	fmt.Println("full-search motion estimation (mpeg2encode), paper Figure 9 column:")
+	fmt.Printf("%-8s %-18s %12s %8s %10s %12s\n",
+		"ISA", "memory", "cycles", "IPC", "eff. bw", "L2 accesses")
+	var baseline int64
+	for _, c := range cases {
+		tr := &trace.Trace{}
+		digest := bm.Run(c.variant, tr)
+		if string(digest) != string(ref) {
+			panic("variant output diverged from the scalar reference")
+		}
+		ms := core.NewMemSystem(c.mem, vmem.DefaultTiming(), c.core.Lanes,
+			c.variant == kernels.MMX)
+		st := core.Simulate(c.core, ms, tr.Insts)
+		if baseline == 0 {
+			baseline = st.Cycles
+		}
+		fmt.Printf("%-8s %-18s %12d %8.2f %10.2f %12d   (%.2fx vs MMX)\n",
+			c.variant, c.mem, st.Cycles, st.IPC(),
+			ms.VM.Stats().EffectiveBandwidth(), ms.L2Activity(),
+			float64(baseline)/float64(st.Cycles))
+	}
+	fmt.Println("\nall variants produce bit-identical motion vectors and coefficients.")
+}

@@ -1,0 +1,49 @@
+// Powerstudy reproduces the paper's §6.3 analysis (Table 4 + Figure 11)
+// as a standalone program: L2 cache activity and the estimated average
+// power of the memory subsystem (L2 + 3D register file) for the three
+// MOM memory systems, over the full benchmark suite. It also prints the
+// register-file area bill of Table 3.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+	"repro/internal/vreg"
+)
+
+func main() {
+	p := power.DefaultParams()
+	fmt.Printf("%-14s %-20s %12s %14s %10s\n",
+		"benchmark", "memory system", "L2 accesses", "L2+3DRF power", "(3D RF)")
+	for _, bm := range kernels.All() {
+		for _, c := range []struct {
+			v   kernels.Variant
+			mem core.MemKind
+		}{
+			{kernels.MOM, core.MemMultiBanked},
+			{kernels.MOM, core.MemVectorCache},
+			{kernels.MOM3D, core.MemVectorCache3D},
+		} {
+			tr := &trace.Trace{}
+			tst := trace.NewStats()
+			bm.Run(c.v, trace.Multi{tr, tst})
+			ms := core.NewMemSystem(c.mem, vmem.DefaultTiming(), 4, false)
+			st := core.Simulate(core.MOMCore(), ms, tr.Insts)
+			bd := power.Estimate(p, st.Cycles, ms.VM.Stats(), ms.ScalarL2Accesses, tst.D3MoveElems)
+			fmt.Printf("%-14s %-20s %12d %11.2f W %7.3f W\n",
+				bm.Name, c.mem, ms.L2Activity(), bd.Total(), bd.D3Watts)
+		}
+	}
+
+	fmt.Println("\nregister file areas (Table 3, square wire tracks):")
+	for _, cfg := range []vreg.Config{vreg.MMX(), vreg.MOM(), vreg.MOM3D()} {
+		fmt.Printf("  %-8s %12d wt\n", cfg.Name, cfg.TotalWT())
+	}
+	n := vreg.Normalized(vreg.MMX(), vreg.MOM(), vreg.MOM3D())
+	fmt.Printf("  normalized: %.2f / %.2f / %.2f — the paper's +50%% area cost\n", n[0], n[1], n[2])
+}

@@ -1,0 +1,57 @@
+// Quickstart: assemble a tiny 3D-vectorized program with the trace
+// builder, execute it on the functional emulator, and time it on the
+// cycle simulator — the whole library in ~80 lines.
+//
+// The program loads a 4x32-byte matrix into a 3D register with one
+// dvload, slices it into MOM registers with 3dvmov at one-byte offsets
+// (the overlapped-streams trick of the paper), and accumulates packed
+// sums of absolute differences.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mmem"
+	"repro/internal/prog"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+func main() {
+	// Architectural memory with a recognizable 4-row matrix.
+	mem := mmem.New()
+	const base, stride = 0x1000, 64
+	for row := 0; row < 4; row++ {
+		for i := 0; i < 32; i++ {
+			mem.WriteU8(base+uint64(row*stride+i), uint8(row*10+i))
+		}
+	}
+
+	// Build the dynamic trace; every emitted instruction also executes.
+	m := emu.New(mem)
+	tr := &trace.Trace{}
+	st := trace.NewStats()
+	b := prog.New(m, trace.Multi{tr, st})
+
+	b.MovImm(isa.R(1), base)
+	b.DVLoad(isa.D(0), isa.R(1), 0, stride, 4 /*rows*/, 4 /*words wide*/, false, 8)
+	b.AccClr(isa.A(0))
+	for slice := 0; slice < 8; slice++ {
+		b.DVMov(isa.V(1), isa.D(0), 1, 4) // 8-byte slice of each row, ptr++
+		b.VSadAcc(isa.A(0), isa.V(1), isa.V(2), 4)
+	}
+	b.AccMov(isa.R(2), isa.A(0))
+
+	fmt.Printf("emulated SAD total: %d\n", m.IntVal(isa.R(2)))
+	fmt.Printf("trace: %d instructions, %d memory bytes\n", st.Total, st.MemBytes)
+
+	// Time the same trace on the MOM processor over the vector cache
+	// with the 3D register file datapath.
+	ms := core.NewMemSystem(core.MemVectorCache3D, vmem.DefaultTiming(), 4, false)
+	stats := core.Simulate(core.MOMCore(), ms, tr.Insts)
+	fmt.Printf("simulated: %d cycles, IPC %.2f\n", stats.Cycles, stats.IPC())
+	fmt.Printf("L2 accesses: %d (one wide access per dvload row)\n", ms.L2Activity())
+}

@@ -1,0 +1,195 @@
+// Package cache implements the set-associative cache models of the
+// paper's memory hierarchy (§5.3): a 64KB 2-way write-through L1 with
+// 32-byte lines and a 2MB 4-way write-back L2 with 128-byte lines, plus
+// the exclusive-bit coherence filter that lets vector accesses bypass the
+// L1 safely.
+//
+// The models track tags, LRU state, dirty bits and statistics; timing is
+// composed by the core and vector memory subsystems from the configured
+// latencies.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name      string
+	Size      int   // total bytes
+	LineSize  int   // bytes per line (power of two)
+	Ways      int   // associativity
+	WriteBack bool  // write-back with write-allocate; else write-through
+	Latency   int64 // access latency in cycles
+}
+
+// L1Config returns the paper's L1 data cache configuration.
+func L1Config() Config {
+	return Config{Name: "L1", Size: 64 << 10, LineSize: 32, Ways: 2, WriteBack: false, Latency: 1}
+}
+
+// L2Config returns the paper's L2 cache configuration with the given
+// latency (20 cycles in the base system; 40 and 60 in the §6.2 study).
+func L2Config(latency int64) Config {
+	return Config{Name: "L2", Size: 2 << 20, LineSize: 128, Ways: 4, WriteBack: true, Latency: latency}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64
+	Invalidates uint64
+}
+
+// HitRate returns hits/accesses (1 for an untouched cache).
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// inL1 is the exclusive-bit of the coherence protocol: set when the
+	// line may also be cached in the L1, so vector writes know to
+	// invalidate it there.
+	inL1 bool
+	lru  uint64
+}
+
+// Cache is one set-associative cache array.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	Stats     Stats
+}
+
+// New builds a cache from its configuration.
+func New(cfg Config) *Cache {
+	nLines := cfg.Size / cfg.LineSize
+	nSets := nLines / cfg.Ways
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nSets))
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nLines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), lineShift: shift}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) find(addr uint64) (set []line, way int) {
+	tag := addr >> c.lineShift
+	set = c.sets[tag&c.setMask]
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Result reports what one cache access did.
+type Result struct {
+	Hit       bool
+	Writeback bool // a dirty victim was evicted
+}
+
+// Access looks up the line containing addr, allocating it on a miss
+// (write misses allocate only in write-back caches; a write-through cache
+// passes write misses downstream without allocation). fromL1 marks L2
+// fills triggered by the scalar side, setting the exclusive bit.
+func (c *Cache) Access(addr uint64, write, fromL1 bool) Result {
+	c.Stats.Accesses++
+	c.tick++
+	set, w := c.find(addr)
+	if w >= 0 {
+		c.Stats.Hits++
+		set[w].lru = c.tick
+		if write {
+			set[w].dirty = c.cfg.WriteBack
+		}
+		if fromL1 {
+			set[w].inL1 = true
+		}
+		return Result{Hit: true}
+	}
+	c.Stats.Misses++
+	if write && !c.cfg.WriteBack {
+		return Result{} // write-through, no write-allocate
+	}
+	// Allocate: evict LRU way.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{}
+	if set[victim].valid {
+		c.Stats.Evictions++
+		if set[victim].dirty {
+			c.Stats.Writebacks++
+			res.Writeback = true
+		}
+	}
+	set[victim] = line{tag: addr >> c.lineShift, valid: true, dirty: write && c.cfg.WriteBack,
+		inL1: fromL1, lru: c.tick}
+	return res
+}
+
+// Contains reports whether the line holding addr is present (no LRU or
+// statistics side effects).
+func (c *Cache) Contains(addr uint64) bool {
+	_, w := c.find(addr)
+	return w >= 0
+}
+
+// Invalidate drops the line containing addr, returning whether it was
+// present (its dirty data is discarded; callers on write-through caches
+// lose nothing).
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, w := c.find(addr)
+	if w < 0 {
+		return false
+	}
+	c.Stats.Invalidates++
+	set[w] = line{}
+	return true
+}
+
+// ExclusiveInL1 reports and clears the exclusive bit of the line holding
+// addr: true means a vector write must invalidate the L1 copy.
+func (c *Cache) ExclusiveInL1(addr uint64) bool {
+	set, w := c.find(addr)
+	if w < 0 || !set[w].inL1 {
+		return false
+	}
+	set[w].inL1 = false
+	return true
+}
+
+// Lines returns the number of lines the cache holds.
+func (c *Cache) Lines() int { return c.cfg.Size / c.cfg.LineSize }

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Cache {
+	// 4 sets x 2 ways x 32B lines = 256 bytes.
+	return New(Config{Name: "t", Size: 256, LineSize: 32, Ways: 2, WriteBack: true, Latency: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := tiny()
+	if c.Access(0x100, false, false).Hit {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0x100, false, false).Hit {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x11f, false, false).Hit {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(0x120, false, false).Hit {
+		t.Fatal("next line must miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny()
+	// Three lines mapping to the same set (set index bits = addr>>5 & 3).
+	a, b, d := uint64(0x000), uint64(0x080), uint64(0x100) // set 0 each (32B lines, 4 sets)
+	c.Access(a, false, false)
+	c.Access(b, false, false)
+	c.Access(a, false, false) // a more recent than b
+	c.Access(d, false, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Fatal("a and d must be resident")
+	}
+	if c.Contains(b) {
+		t.Fatal("b must have been evicted (LRU)")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	c := tiny()
+	c.Access(0x000, true, false) // dirty
+	c.Access(0x080, false, false)
+	r := c.Access(0x100, false, false) // evicts dirty 0x000
+	if !r.Writeback {
+		t.Error("evicting a dirty line must write back")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := New(Config{Size: 256, LineSize: 32, Ways: 2, WriteBack: false, Latency: 1})
+	c.Access(0x40, true, false)
+	if c.Contains(0x40) {
+		t.Error("write-through cache must not allocate on write miss")
+	}
+	c.Access(0x40, false, false)
+	c.Access(0x40, true, false) // write hit: line stays, not dirty
+	r := struct{}{}
+	_ = r
+	if !c.Contains(0x40) {
+		t.Error("line must remain after write hit")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tiny()
+	c.Access(0x200, false, false)
+	if !c.Invalidate(0x210) {
+		t.Fatal("invalidate of resident line must report true")
+	}
+	if c.Contains(0x200) {
+		t.Fatal("line must be gone")
+	}
+	if c.Invalidate(0x200) {
+		t.Fatal("invalidate of absent line must report false")
+	}
+	if c.Stats.Invalidates != 1 {
+		t.Errorf("invalidates = %d", c.Stats.Invalidates)
+	}
+}
+
+func TestExclusiveBit(t *testing.T) {
+	c := tiny()
+	c.Access(0x40, false, true) // filled by the L1 side
+	if !c.ExclusiveInL1(0x40) {
+		t.Fatal("exclusive bit must be set by fromL1 fills")
+	}
+	if c.ExclusiveInL1(0x40) {
+		t.Fatal("exclusive bit must clear after the check")
+	}
+	c.Access(0x40, false, true) // re-set
+	if !c.ExclusiveInL1(0x40) {
+		t.Fatal("exclusive bit must be settable again")
+	}
+	c.Access(0x80, false, false)
+	if c.ExclusiveInL1(0x80) {
+		t.Fatal("vector-filled lines must not be marked exclusive")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	l1 := New(L1Config())
+	if l1.Lines() != 64<<10/32 {
+		t.Error("L1 line count")
+	}
+	l2 := New(L2Config(20))
+	if l2.Lines() != 2<<20/128 {
+		t.Error("L2 line count")
+	}
+	if l2.Config().Latency != 20 || l1.Config().Latency != 1 {
+		t.Error("latencies")
+	}
+	if l2.LineAddr(0x12345) != 0x12345&^uint64(127) {
+		t.Error("LineAddr")
+	}
+}
+
+// Property: the cache agrees with a reference model that tracks resident
+// line addresses per set with LRU order.
+func TestAgainstReferenceModel(t *testing.T) {
+	c := tiny()
+	type key struct{ set int }
+	ref := map[int][]uint64{} // set -> line tags, most recent last
+	_ = key{}
+	access := func(addr uint64) bool {
+		lineTag := addr >> 5
+		set := int(lineTag & 3)
+		lst := ref[set]
+		for i, tg := range lst {
+			if tg == lineTag {
+				lst = append(append(lst[:i], lst[i+1:]...), lineTag)
+				ref[set] = lst
+				return true
+			}
+		}
+		lst = append(lst, lineTag)
+		if len(lst) > 2 {
+			lst = lst[1:]
+		}
+		ref[set] = lst
+		return false
+	}
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			addr := uint64(a)
+			want := access(addr)
+			got := c.Access(addr, false, false).Hit
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := tiny()
+	if c.Stats.HitRate() != 1 {
+		t.Error("empty cache hit rate must be 1")
+	}
+	c.Access(0, false, false)
+	c.Access(0, false, false)
+	if hr := c.Stats.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}

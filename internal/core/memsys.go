@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/vmem"
+)
+
+// MemKind selects the memory system configuration of an experiment.
+type MemKind int
+
+const (
+	// MemIdeal is the idealistic memory of §3.1: one cycle, unbounded
+	// bandwidth, for both the scalar and vector sides.
+	MemIdeal MemKind = iota
+	// MemMultiBanked attaches the 4-port, 8-bank vector cache design
+	// (Fig 2-a) to L2; in the MMX configuration the banking applies to
+	// the L1 data cache ports instead.
+	MemMultiBanked
+	// MemVectorCache attaches the single-wide-port vector cache
+	// (Fig 2-b).
+	MemVectorCache
+	// MemVectorCache3D is the vector cache plus the 3D register file
+	// datapath (Fig 8-c).
+	MemVectorCache3D
+)
+
+// String names the memory system as the figures do.
+func (k MemKind) String() string {
+	switch k {
+	case MemIdeal:
+		return "ideal"
+	case MemMultiBanked:
+		return "multi-banked"
+	case MemVectorCache:
+		return "vector cache"
+	case MemVectorCache3D:
+		return "vector cache + 3D"
+	}
+	return "?"
+}
+
+// MemSystem bundles the cache hierarchy, the vector memory subsystem and
+// the scalar access path for one simulation.
+type MemSystem struct {
+	Kind MemKind
+	Tim  vmem.Timing
+	L1   *cache.Cache // nil when ideal
+	L2   *cache.Cache // nil when ideal
+	VM   vmem.System
+
+	// ScalarL2Accesses counts L2 activity caused by L1 load misses
+	// (write-through store traffic is assumed coalesced by the write
+	// buffer and is not charged as activity).
+	ScalarL2Accesses uint64
+
+	l1Banks []int64 // MMX multi-banked configuration: L1 bank free cycles
+}
+
+// NewMemSystem builds a memory system. lanes is the processor's lane
+// count (the vector cache port width in words); bankL1 enables L1 port
+// banking (the MMX multi-banked configuration).
+func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSystem {
+	m := &MemSystem{Kind: kind, Tim: tim}
+	if kind == MemIdeal {
+		m.VM = vmem.NewIdeal()
+		return m
+	}
+	m.L1 = cache.New(cache.L1Config())
+	m.L2 = cache.New(cache.L2Config(tim.L2Latency))
+	switch kind {
+	case MemMultiBanked:
+		m.VM = vmem.NewMultiBanked(m.L2, m.L1, tim, 4, 8)
+	case MemVectorCache:
+		m.VM = vmem.NewVectorCache(m.L2, m.L1, tim, lanes, false)
+	case MemVectorCache3D:
+		m.VM = vmem.NewVectorCache(m.L2, m.L1, tim, lanes, true)
+	}
+	if bankL1 {
+		m.l1Banks = make([]int64, 8)
+	}
+	return m
+}
+
+// ScalarAccess schedules one scalar or μSIMD memory access issued at
+// cycle t and returns its completion cycle.
+func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) int64 {
+	if m.Kind == MemIdeal {
+		return t + 1
+	}
+	if m.l1Banks != nil {
+		bank := (in.Addr >> 3) % uint64(len(m.l1Banks))
+		if m.l1Banks[bank] > t {
+			t = m.l1Banks[bank]
+		}
+		m.l1Banks[bank] = t + 1
+	}
+	if in.IsStore {
+		// Write-through, no-allocate; the write buffer hides latency.
+		m.L1.Access(in.Addr, true, false)
+		return t + 1
+	}
+	if m.L1.Access(in.Addr, false, false).Hit {
+		return t + m.L1.Config().Latency
+	}
+	m.ScalarL2Accesses++
+	lat := m.L1.Config().Latency + m.Tim.L2Latency
+	if !m.L2.Access(in.Addr, false, true).Hit {
+		lat += m.Tim.MemLatency
+	}
+	return t + lat
+}
+
+// L2Activity returns total L2 accesses: vector subsystem activity plus
+// scalar-side misses (the Table 4 metric).
+func (m *MemSystem) L2Activity() uint64 {
+	return m.VM.Stats().Accesses + m.ScalarL2Accesses
+}

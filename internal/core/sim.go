@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Stats is the outcome of one simulation.
+type Stats struct {
+	Cycles    int64
+	Committed uint64
+	ByKind    [isa.Kind3DMove + 1]uint64
+
+	Mispredicts uint64
+
+	// Forwarded counts loads served from the store queue (fully covered
+	// by an older in-flight store) without touching the cache hierarchy.
+	Forwarded uint64
+
+	// Dispatch stall diagnostics (cycles in which dispatch stopped for
+	// each reason; a cycle can be charged to at most one reason).
+	StallROB, StallLSQ, StallRegs uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+const (
+	noProgressLimit = 1 << 20 // cycles without commits before declaring deadlock
+)
+
+type dep struct {
+	seq    uint64
+	usePtr bool // consume the 3dvmov pointer result, not the data result
+}
+
+type robEntry struct {
+	in      *isa.Inst
+	seq     uint64
+	valid   bool
+	issued  bool
+	done    int64
+	donePtr int64
+	q       queue
+	deps    [5]dep
+	ndeps   int
+	lo, hi  uint64 // memory address range (loads and stores)
+}
+
+type storeRec struct {
+	seq    uint64
+	lo, hi uint64
+}
+
+// Sim is one processor instance bound to a memory system.
+type Sim struct {
+	cfg Config
+	mem *MemSystem
+
+	rob   []robEntry
+	count int
+	head  int // ROB ring index of the oldest entry
+
+	pend [qCount][]uint64 // unissued entry seqs per queue, program order
+
+	// Rename: last uncommitted writer per (class, index).
+	writer [6][32]uint64
+	hasW   [6][32]bool
+
+	inflight [6]int // uncommitted writers per register class
+
+	lsqCount int
+	stores   []storeRec // uncommitted stores, program order
+
+	simdBusyUntil  int64 // MOM single SIMD unit occupancy
+	moverBusyUntil int64 // 3D->MOM register transfer datapath occupancy
+
+	// Branch prediction state (gshare ablation).
+	history        uint64
+	pht            []int8
+	mispredictSeq  uint64
+	mispredictPend bool
+	fetchResumeAt  int64
+
+	now   int64
+	stats Stats
+}
+
+// limits per class: in-flight writers must not exceed physical - logical.
+// Accumulator and 3D-pointer results are tiny (192 and 7 bits) and flow
+// through the forwarding network; their Table 3 register files are
+// charged for area but do not gate dispatch — modeling them as strictly
+// as the wide register files would serialize every accumulate chain on
+// commit latency, a behavior the paper's results exclude.
+func (s *Sim) classLimit(c isa.RegClass) int {
+	switch c {
+	case isa.RCVec:
+		return s.cfg.PhysVec - s.cfg.LogVec
+	case isa.RC3D:
+		return s.cfg.Phys3D - s.cfg.Log3D
+	}
+	return 1 << 30
+}
+
+// Simulate runs the dynamic instruction stream to completion and returns
+// the statistics. The memory system accumulates its own counters.
+func Simulate(cfg Config, mem *MemSystem, insts []isa.Inst) *Stats {
+	s := &Sim{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.Window)}
+	if cfg.UseGshare {
+		s.pht = make([]int8, 1<<cfg.GshareBits)
+	}
+	next := 0 // next trace index to dispatch
+	lastCommitCycle := int64(0)
+	for next < len(insts) || s.count > 0 {
+		if s.commit() {
+			lastCommitCycle = s.now
+		}
+		s.issue()
+		next = s.dispatch(insts, next)
+		s.now++
+		if s.now-lastCommitCycle > noProgressLimit {
+			panic(fmt.Sprintf("core: no commit progress at cycle %d (trace pos %d/%d, rob %d)",
+				s.now, next, len(insts), s.count))
+		}
+	}
+	s.stats.Cycles = s.now
+	return &s.stats
+}
+
+func (s *Sim) entry(seq uint64) *robEntry {
+	e := &s.rob[seq%uint64(s.cfg.Window)]
+	if e.valid && e.seq == seq {
+		return e
+	}
+	return nil // already committed
+}
+
+// commit retires up to CommitWidth completed instructions in order.
+func (s *Sim) commit() bool {
+	n := 0
+	for n < s.cfg.CommitWidth && s.count > 0 {
+		e := &s.rob[s.head]
+		if !e.issued || e.done > s.now {
+			break
+		}
+		in := e.in
+		// Release rename state.
+		s.release(in.Dst, e.seq)
+		if in.Op == isa.Op3DVMov {
+			s.release(in.Ptr, e.seq)
+		}
+		if in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem {
+			s.lsqCount--
+			if in.IsStore && len(s.stores) > 0 && s.stores[0].seq == e.seq {
+				s.stores = s.stores[1:]
+			}
+		}
+		s.stats.Committed++
+		s.stats.ByKind[in.Kind]++
+		e.valid = false
+		s.head = (s.head + 1) % s.cfg.Window
+		s.count--
+		n++
+	}
+	return n > 0
+}
+
+func (s *Sim) release(r isa.Reg, seq uint64) {
+	if !r.Valid() {
+		return
+	}
+	c, i := r.Class(), r.Index()
+	if s.hasW[c][i] && s.writer[c][i] == seq {
+		s.hasW[c][i] = false
+	}
+	s.inflight[c]--
+}
+
+// ready reports whether every operand of e is available and, for loads,
+// whether all older overlapping stores have completed.
+func (s *Sim) ready(e *robEntry) bool {
+	for i := 0; i < e.ndeps; i++ {
+		d := e.deps[i]
+		p := s.entry(d.seq)
+		if p == nil {
+			continue // committed, value in the register file
+		}
+		if !p.issued {
+			return false
+		}
+		t := p.done
+		if d.usePtr {
+			t = p.donePtr
+		}
+		if t > s.now {
+			return false
+		}
+	}
+	if e.in.Kind.IsMem() && !e.in.IsStore {
+		// A load waits only for un-issued older overlapping stores: once
+		// a store has issued, the LSQ forwarding/merge network supplies
+		// its data to younger loads.
+		for _, st := range s.stores {
+			if st.seq >= e.seq {
+				break
+			}
+			if st.lo < e.hi && e.lo < st.hi {
+				p := s.entry(st.seq)
+				if p != nil && !p.issued {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// issue selects ready instructions oldest-first from each queue, bounded
+// by the per-queue issue widths and functional unit structure.
+func (s *Sim) issue() {
+	// Integer pipeline.
+	s.issueQueue(qInt, s.cfg.IntIssue, func(e *robEntry) (int64, bool) {
+		return s.now + int64(e.in.Op.Class().Latency()), true
+	})
+
+	// Multimedia pipeline.
+	momStyle := s.cfg.SIMDFUs == 1 && s.cfg.Lanes > 1
+	s.issueQueue(qSIMD, s.cfg.SIMDIssue, func(e *robEntry) (int64, bool) {
+		lat := int64(e.in.Op.Class().Latency())
+		if !momStyle {
+			return s.now + lat, true
+		}
+		if s.simdBusyUntil > s.now {
+			return 0, false
+		}
+		occ := simdOccupancy(e.in, s.cfg.Lanes)
+		s.simdBusyUntil = s.now + occ
+		return s.now + occ - 1 + lat, true
+	})
+
+	// Memory pipeline.
+	l1Used := 0
+	s.issueQueue(qMem, s.cfg.MemIssue, func(e *robEntry) (int64, bool) {
+		if e.in.Op == isa.Op3DVMov {
+			// A register-file transfer: Lanes elements/cycle over the
+			// dedicated 3D datapath; the pointer update resolves in one
+			// cycle.
+			if s.moverBusyUntil > s.now {
+				return 0, false
+			}
+			occ := simdOccupancy(e.in, s.cfg.Lanes)
+			s.moverBusyUntil = s.now + occ
+			e.donePtr = s.now + 1
+			return s.now + occ - 1 + int64(e.in.Op.Class().Latency()), true
+		}
+		if !e.in.IsStore && s.forwardable(e) {
+			// Store-to-load forwarding: the load's bytes are entirely
+			// covered by an older in-flight store, so the LSQ supplies
+			// them without a cache access.
+			s.stats.Forwarded++
+			return s.now + 2, true
+		}
+		if e.in.Kind.IsVectorMem() {
+			return s.mem.VM.Issue(e.in, s.now), true
+		}
+		if l1Used >= s.cfg.L1Ports {
+			return 0, false
+		}
+		l1Used++
+		return s.mem.ScalarAccess(e.in, s.now), true
+	})
+}
+
+// forwardable reports whether an older in-flight issued store fully
+// covers the load's byte range.
+func (s *Sim) forwardable(e *robEntry) bool {
+	for _, st := range s.stores {
+		if st.seq >= e.seq {
+			break
+		}
+		if st.lo <= e.lo && e.hi <= st.hi {
+			p := s.entry(st.seq)
+			if p != nil && p.issued {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// issueQueue scans one pending queue oldest-first, issuing up to width
+// entries for which fire() grants a slot and returns a completion cycle.
+func (s *Sim) issueQueue(q queue, width int, fire func(e *robEntry) (int64, bool)) {
+	pend := s.pend[q]
+	kept := pend[:0]
+	issued := 0
+	for _, seq := range pend {
+		e := s.entry(seq)
+		if e == nil || e.issued {
+			continue
+		}
+		if issued < width && s.ready(e) {
+			done, ok := fire(e)
+			if ok {
+				e.issued = true
+				e.done = done
+				if e.donePtr == 0 {
+					e.donePtr = done
+				}
+				issued++
+				continue
+			}
+		}
+		kept = append(kept, seq)
+	}
+	s.pend[q] = kept
+}
+
+// dispatch brings up to FetchWidth instructions into the window, stopping
+// at resource exhaustion or a taken branch (fetch break).
+func (s *Sim) dispatch(insts []isa.Inst, next int) int {
+	if s.mispredictPend {
+		e := s.entry(s.mispredictSeq)
+		if e == nil || (e.issued && e.done <= s.now) {
+			resolve := s.now
+			if e != nil {
+				resolve = e.done
+			}
+			s.fetchResumeAt = resolve + s.cfg.MispredictPenalty
+			s.mispredictPend = false
+		} else {
+			return next
+		}
+	}
+	if s.now < s.fetchResumeAt {
+		return next
+	}
+	for n := 0; n < s.cfg.FetchWidth && next < len(insts); n++ {
+		in := &insts[next]
+		if s.count == s.cfg.Window {
+			s.stats.StallROB++
+			break
+		}
+		isMem := in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem
+		if isMem && s.lsqCount == s.cfg.LSQ {
+			s.stats.StallLSQ++
+			break
+		}
+		if !s.regsAvailable(in) {
+			s.stats.StallRegs++
+			break
+		}
+		s.insert(in)
+		next++
+		if in.Kind == isa.KindBranch {
+			if s.cfg.UseGshare && s.predict(in) != in.Taken {
+				s.stats.Mispredicts++
+				s.mispredictPend = true
+				s.mispredictSeq = in.Seq
+				break
+			}
+			if in.Taken {
+				break // fetch break on taken branches
+			}
+		}
+	}
+	return next
+}
+
+func (s *Sim) regsAvailable(in *isa.Inst) bool {
+	if in.Dst.Valid() {
+		c := in.Dst.Class()
+		if s.inflight[c] >= s.classLimit(c) {
+			return false
+		}
+	}
+	if in.Op == isa.Op3DVMov && s.inflight[isa.RCPtr] >= s.classLimit(isa.RCPtr) {
+		return false
+	}
+	return true
+}
+
+// insert renames and dispatches one instruction into the window.
+func (s *Sim) insert(in *isa.Inst) {
+	idx := int(in.Seq % uint64(s.cfg.Window))
+	e := &s.rob[idx]
+	*e = robEntry{in: in, seq: in.Seq, valid: true, q: queueOf(in)}
+
+	addDep := func(r isa.Reg, usePtr bool) {
+		if !r.Valid() {
+			return
+		}
+		c, i := r.Class(), r.Index()
+		if s.hasW[c][i] {
+			e.deps[e.ndeps] = dep{seq: s.writer[c][i], usePtr: usePtr}
+			e.ndeps++
+		}
+	}
+	addDep(in.Src1, false)
+	addDep(in.Src2, false)
+	if in.Ptr.Valid() {
+		addDep(in.Ptr, true)
+	}
+	switch in.Op {
+	case isa.OpVSadAcc, isa.OpVMacAcc, isa.OpVAddWAcc:
+		addDep(in.Dst, false) // accumulators read-modify-write
+	}
+
+	setWriter := func(r isa.Reg) {
+		if !r.Valid() {
+			return
+		}
+		c, i := r.Class(), r.Index()
+		s.writer[c][i] = in.Seq
+		s.hasW[c][i] = true
+		s.inflight[c]++
+	}
+	setWriter(in.Dst)
+	if in.Op == isa.Op3DVMov {
+		setWriter(in.Ptr)
+	}
+
+	if in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem {
+		s.lsqCount++
+		e.lo, e.hi = memRange(in)
+		if in.IsStore {
+			s.stores = append(s.stores, storeRec{seq: in.Seq, lo: e.lo, hi: e.hi})
+		}
+	}
+
+	s.pend[e.q] = append(s.pend[e.q], in.Seq)
+	s.count++
+}
+
+// memRange returns the conservative [lo, hi) byte range an instruction
+// touches, used for store-to-load ordering.
+func memRange(in *isa.Inst) (lo, hi uint64) {
+	switch in.Kind {
+	case isa.KindScalarMem:
+		return in.Addr, in.Addr + uint64(in.Imm)
+	case isa.KindUSIMDMem:
+		return in.Addr, in.Addr + 8
+	case isa.KindMOMMem, isa.Kind3DLoad:
+		size := int64(isa.MOMElemBytes)
+		if in.Kind == isa.Kind3DLoad {
+			size = int64(in.Width) * 8
+		}
+		first := int64(in.Addr)
+		last := first + int64(in.VL-1)*in.Stride
+		if last < first {
+			first, last = last, first
+		}
+		return uint64(first), uint64(last + size)
+	}
+	return 0, 0
+}
+
+// predict consults the gshare pattern history table and updates it with
+// the actual outcome (traces carry perfect outcomes; the predictor is an
+// ablation of the perfect-prediction default).
+func (s *Sim) predict(in *isa.Inst) bool {
+	idx := s.history & (uint64(len(s.pht)) - 1)
+	ctr := s.pht[idx]
+	pred := ctr >= 2
+	if in.Taken && ctr < 3 {
+		s.pht[idx]++
+	}
+	if !in.Taken && ctr > 0 {
+		s.pht[idx]--
+	}
+	s.history = s.history<<1 | uint64(boolBit(in.Taken))
+	return pred
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3.1, §5.2, §6): it generates benchmark traces, drives the
+// cycle simulator across the ISA and memory-system configurations, and
+// renders the same rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+// SimKey identifies one simulation configuration.
+type SimKey struct {
+	Bench   string
+	Variant kernels.Variant
+	Mem     core.MemKind
+	L2Lat   int64
+}
+
+// SimResult is the outcome of one simulation, with the memory-system
+// counters copied out.
+type SimResult struct {
+	Key      SimKey
+	Core     *core.Stats
+	VM       vmem.Stats
+	ScalarL2 uint64
+	Activity uint64 // total L2 accesses (Table 4)
+	Trace    *trace.Stats
+}
+
+// Cycles is shorthand for the simulated execution time.
+func (r *SimResult) Cycles() int64 { return r.Core.Cycles }
+
+// Runner generates traces and runs simulations, memoizing results so the
+// figures can share configurations. Traces are cached per benchmark and
+// dropped when the runner moves on, bounding memory.
+type Runner struct {
+	benches map[string]kernels.Benchmark
+	order   []string
+
+	results map[SimKey]*SimResult
+
+	traceBench string
+	traces     map[kernels.Variant]*tracePair
+
+	// Progress, if non-nil, is called before each new simulation.
+	Progress func(key SimKey)
+}
+
+type tracePair struct {
+	tr *trace.Trace
+	st *trace.Stats
+}
+
+// NewRunner builds a runner over the default benchmark suite.
+func NewRunner() *Runner {
+	r := &Runner{
+		benches: map[string]kernels.Benchmark{},
+		results: map[SimKey]*SimResult{},
+	}
+	for _, bm := range kernels.All() {
+		r.benches[bm.Name] = bm
+		r.order = append(r.order, bm.Name)
+	}
+	return r
+}
+
+// NewRunnerWith builds a runner over a custom suite (tests use scaled-down
+// benchmarks).
+func NewRunnerWith(bms []kernels.Benchmark) *Runner {
+	r := &Runner{
+		benches: map[string]kernels.Benchmark{},
+		results: map[SimKey]*SimResult{},
+	}
+	for _, bm := range bms {
+		r.benches[bm.Name] = bm
+		r.order = append(r.order, bm.Name)
+	}
+	return r
+}
+
+// Benchmarks lists the suite in presentation order.
+func (r *Runner) Benchmarks() []string { return r.order }
+
+func (r *Runner) traceFor(bench string, v kernels.Variant) *tracePair {
+	if r.traceBench != bench {
+		r.traces = map[kernels.Variant]*tracePair{}
+		r.traceBench = bench
+	}
+	if tp, ok := r.traces[v]; ok {
+		return tp
+	}
+	bm, ok := r.benches[bench]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+	}
+	tr := &trace.Trace{}
+	st := trace.NewStats()
+	bm.Run(v, trace.Multi{tr, st})
+	tp := &tracePair{tr: tr, st: st}
+	r.traces[v] = tp
+	return tp
+}
+
+// coreConfigFor maps an ISA variant to its processor configuration.
+func coreConfigFor(v kernels.Variant) core.Config {
+	if v == kernels.MMX {
+		return core.MMXCore()
+	}
+	return core.MOMCore()
+}
+
+// Sim runs (or recalls) one simulation.
+func (r *Runner) Sim(bench string, v kernels.Variant, mem core.MemKind, l2lat int64) *SimResult {
+	key := SimKey{Bench: bench, Variant: v, Mem: mem, L2Lat: l2lat}
+	if res, ok := r.results[key]; ok {
+		return res
+	}
+	if r.Progress != nil {
+		r.Progress(key)
+	}
+	tp := r.traceFor(bench, v)
+	cfg := coreConfigFor(v)
+	tim := vmem.Timing{L2Latency: l2lat, MemLatency: 100}
+	// In the MMX configuration the "multi-banked" realistic memory banks
+	// the L1 data cache ports (there is no vector subsystem to bank).
+	bankL1 := v == kernels.MMX && mem != core.MemIdeal
+	ms := core.NewMemSystem(mem, tim, cfg.Lanes, bankL1)
+	st := core.Simulate(cfg, ms, tp.tr.Insts)
+	res := &SimResult{
+		Key:      key,
+		Core:     st,
+		VM:       *ms.VM.Stats(),
+		ScalarL2: ms.ScalarL2Accesses,
+		Activity: ms.L2Activity(),
+		Trace:    tp.st,
+	}
+	r.results[key] = res
+	return res
+}
+
+// Convenience configuration accessors used by the figures.
+
+const baseLat = 20
+
+// Shorthand aliases used by the figure builders.
+var (
+	momVariant   = kernels.MOM
+	mom3DVariant = kernels.MOM3D
+	momVCKind    = core.MemVectorCache
+	mom3DVCKind  = core.MemVectorCache3D
+)
+
+// MOMIdeal is the normalization baseline of Figs 3 and 9.
+func (r *Runner) MOMIdeal(bench string) *SimResult {
+	return r.Sim(bench, kernels.MOM, core.MemIdeal, baseLat)
+}
+
+// MOMMultiBanked is the MOM processor over the 4-port, 8-bank cache.
+func (r *Runner) MOMMultiBanked(bench string) *SimResult {
+	return r.Sim(bench, kernels.MOM, core.MemMultiBanked, baseLat)
+}
+
+// MOMVectorCache is the MOM processor over the vector cache.
+func (r *Runner) MOMVectorCache(bench string) *SimResult {
+	return r.Sim(bench, kernels.MOM, core.MemVectorCache, baseLat)
+}
+
+// MOM3DVectorCache is the 3D-extended processor over the vector cache
+// with the 3D register file datapath.
+func (r *Runner) MOM3DVectorCache(bench string) *SimResult {
+	return r.Sim(bench, kernels.MOM3D, core.MemVectorCache3D, baseLat)
+}
+
+// MMXIdeal is the MMX-like processor with idealistic memory.
+func (r *Runner) MMXIdeal(bench string) *SimResult {
+	return r.Sim(bench, kernels.MMX, core.MemIdeal, baseLat)
+}
+
+// MMXMultiBanked is the MMX-like processor with banked L1 ports.
+func (r *Runner) MMXMultiBanked(bench string) *SimResult {
+	return r.Sim(bench, kernels.MMX, core.MemMultiBanked, baseLat)
+}

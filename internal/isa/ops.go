@@ -1,0 +1,254 @@
+package isa
+
+import "fmt"
+
+// Op enumerates every operation in the combined scalar + μSIMD + MOM + 3D
+// instruction repertoire. Packed operations (OpPAddB ... OpPSrlQ) are shared
+// between the μSIMD and MOM instruction kinds: under KindUSIMD they operate
+// on one 64-bit register, under KindMOM they are replicated over VL register
+// elements (the second dimension of vectorization).
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Scalar integer operations.
+	OpIMovImm // dst = imm
+	OpIMov    // dst = src1
+	OpIAdd    // dst = src1 + src2
+	OpIAddImm // dst = src1 + imm
+	OpISub    // dst = src1 - src2
+	OpIMul    // dst = src1 * src2
+	OpIAnd
+	OpIOr
+	OpIXor
+	OpIShl  // dst = src1 << imm
+	OpIShr  // dst = src1 >> imm (logical)
+	OpISra  // dst = src1 >> imm (arithmetic)
+	OpISltI // dst = src1 < imm ? 1 : 0 (signed)
+	OpISlt  // dst = src1 < src2 ? 1 : 0 (signed)
+	OpIMin  // dst = min(src1, src2) (signed)
+	OpIMax  // dst = max(src1, src2) (signed)
+
+	// Control flow. Branches carry their dynamic outcome in Inst.Taken.
+	OpBr   // conditional branch on src1 != 0
+	OpJump // unconditional jump / call / return
+
+	// Scalar memory. The access size in bytes travels in Inst.Imm.
+	OpLoad  // dst = mem[Addr], zero-extended
+	OpLoadS // dst = mem[Addr], sign-extended
+	OpStore // mem[Addr] = src2
+
+	// Packed 64-bit operations (μSIMD under KindUSIMD, per-element 2D
+	// vector under KindMOM).
+	OpPAddB   // 8x8-bit wrapping add
+	OpPAddW   // 4x16-bit wrapping add
+	OpPAddD   // 2x32-bit wrapping add
+	OpPAddSW  // 4x16-bit signed saturating add
+	OpPAddUSB // 8x8-bit unsigned saturating add
+	OpPSubB
+	OpPSubW
+	OpPSubD
+	OpPSubSW  // 4x16-bit signed saturating subtract
+	OpPSubUSB // 8x8-bit unsigned saturating subtract
+	OpPMullW  // 4x16-bit multiply, low halves
+	OpPMulhW  // 4x16-bit signed multiply, high halves
+	OpPMAddWD // 4x16 -> 2x32 multiply-add pairs
+	OpPAvgB   // 8x8-bit unsigned rounding average
+	OpPMinUB
+	OpPMaxUB
+	OpPSadBW // sum of absolute differences of 8 bytes -> 64-bit scalar sum
+	OpPAnd
+	OpPOr
+	OpPXor
+	OpPAndN
+	OpPSllW // shift counts travel in Inst.Imm
+	OpPSrlW
+	OpPSraW
+	OpPSllD
+	OpPSrlD
+	OpPSraD
+	OpPSllQ
+	OpPSrlQ
+	OpPackUSWB  // pack 4+4 signed words to 8 unsigned saturated bytes
+	OpPackSSWB  // pack 4+4 signed words to 8 signed saturated bytes
+	OpPackSSDW  // pack 2+2 signed dwords to 4 signed saturated words
+	OpPUnpckLBW // interleave low 4 bytes of src1/src2 into 4 words' bytes
+	OpPUnpckHBW
+	OpPUnpckLWD
+	OpPUnpckHWD
+	OpPUnpckLDQ // interleave low dwords of src1/src2
+	OpPUnpckHDQ // interleave high dwords of src1/src2
+	OpPShufW    // shuffle 4 words by immediate control
+
+	// Multimedia register moves.
+	OpVMovI2V // vec[0:63] = scalar src1 (broadcast not implied)
+	OpVMovV2I // scalar dst = vec element word (Imm selects element)
+	OpVSplatW // broadcast low 16 bits of scalar src1 across register/elements
+
+	// Multimedia memory. Under KindUSIMDMem a 64-bit access; under
+	// KindMOMMem a 2D access of VL elements with Stride bytes between them.
+	OpVLoad
+	OpVStore
+
+	// MOM packed-accumulator operations (192-bit accumulator RF).
+	OpVSadAcc  // acc += sum over elements of SAD(src1[e], src2[e])
+	OpVMacAcc  // acc += sum over elements of dot16(src1[e], src2[e])
+	OpVAddWAcc // acc += sum over elements of sum of 4 words (signed)
+	OpAccClr   // acc = 0
+	OpAccMov   // scalar dst = saturated/truncated accumulator value
+
+	// 3D memory vectorization extension (the paper's new instructions).
+	Op3DVLoad // dvload DRi <- [Addr], stride, W words/elem, flag b
+	Op3DVMov  // 3dvmov VRi <- DRj at ptr; ptr += Ps
+
+	opCount
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opCount)
+
+// ExecClass groups opcodes by the functional unit pipeline that executes
+// them; it determines execution latency.
+type ExecClass uint8
+
+const (
+	// ECSimple executes in one cycle (ALU, logic, moves).
+	ECSimple ExecClass = iota
+	// ECIMul is the scalar integer multiplier.
+	ECIMul
+	// ECPMul is the packed multiplier pipeline (pmull/pmulh/pmadd).
+	ECPMul
+	// ECPSad is the packed sum-of-absolute-differences pipeline.
+	ECPSad
+	// ECMem is a memory operation; latency comes from the memory system.
+	ECMem
+	// ECMove3D is the 3D register file read pipeline (3 cycles, §5.3).
+	ECMove3D
+)
+
+// opInfo is static metadata for one opcode.
+type opInfo struct {
+	name  string
+	class ExecClass
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:     {"nop", ECSimple},
+	OpIMovImm: {"movi", ECSimple},
+	OpIMov:    {"mov", ECSimple},
+	OpIAdd:    {"add", ECSimple},
+	OpIAddImm: {"addi", ECSimple},
+	OpISub:    {"sub", ECSimple},
+	OpIMul:    {"mul", ECIMul},
+	OpIAnd:    {"and", ECSimple},
+	OpIOr:     {"or", ECSimple},
+	OpIXor:    {"xor", ECSimple},
+	OpIShl:    {"shl", ECSimple},
+	OpIShr:    {"shr", ECSimple},
+	OpISra:    {"sra", ECSimple},
+	OpISltI:   {"slti", ECSimple},
+	OpISlt:    {"slt", ECSimple},
+	OpIMin:    {"min", ECSimple},
+	OpIMax:    {"max", ECSimple},
+	OpBr:      {"br", ECSimple},
+	OpJump:    {"jmp", ECSimple},
+	OpLoad:    {"ld", ECMem},
+	OpLoadS:   {"lds", ECMem},
+	OpStore:   {"st", ECMem},
+
+	OpPAddB:     {"paddb", ECSimple},
+	OpPAddW:     {"paddw", ECSimple},
+	OpPAddD:     {"paddd", ECSimple},
+	OpPAddSW:    {"paddsw", ECSimple},
+	OpPAddUSB:   {"paddusb", ECSimple},
+	OpPSubB:     {"psubb", ECSimple},
+	OpPSubW:     {"psubw", ECSimple},
+	OpPSubD:     {"psubd", ECSimple},
+	OpPSubSW:    {"psubsw", ECSimple},
+	OpPSubUSB:   {"psubusb", ECSimple},
+	OpPMullW:    {"pmullw", ECPMul},
+	OpPMulhW:    {"pmulhw", ECPMul},
+	OpPMAddWD:   {"pmaddwd", ECPMul},
+	OpPAvgB:     {"pavgb", ECSimple},
+	OpPMinUB:    {"pminub", ECSimple},
+	OpPMaxUB:    {"pmaxub", ECSimple},
+	OpPSadBW:    {"psadbw", ECPSad},
+	OpPAnd:      {"pand", ECSimple},
+	OpPOr:       {"por", ECSimple},
+	OpPXor:      {"pxor", ECSimple},
+	OpPAndN:     {"pandn", ECSimple},
+	OpPSllW:     {"psllw", ECSimple},
+	OpPSrlW:     {"psrlw", ECSimple},
+	OpPSraW:     {"psraw", ECSimple},
+	OpPSllD:     {"pslld", ECSimple},
+	OpPSrlD:     {"psrld", ECSimple},
+	OpPSraD:     {"psrad", ECSimple},
+	OpPSllQ:     {"psllq", ECSimple},
+	OpPSrlQ:     {"psrlq", ECSimple},
+	OpPackUSWB:  {"packuswb", ECSimple},
+	OpPackSSWB:  {"packsswb", ECSimple},
+	OpPackSSDW:  {"packssdw", ECSimple},
+	OpPUnpckLBW: {"punpcklbw", ECSimple},
+	OpPUnpckHBW: {"punpckhbw", ECSimple},
+	OpPUnpckLWD: {"punpcklwd", ECSimple},
+	OpPUnpckHWD: {"punpckhwd", ECSimple},
+	OpPUnpckLDQ: {"punpckldq", ECSimple},
+	OpPUnpckHDQ: {"punpckhdq", ECSimple},
+	OpPShufW:    {"pshufw", ECSimple},
+
+	OpVMovI2V: {"vmovi2v", ECSimple},
+	OpVMovV2I: {"vmovv2i", ECSimple},
+	OpVSplatW: {"vsplatw", ECSimple},
+
+	OpVLoad:  {"vload", ECMem},
+	OpVStore: {"vstore", ECMem},
+
+	OpVSadAcc:  {"vsadacc", ECPSad},
+	OpVMacAcc:  {"vmacacc", ECPMul},
+	OpVAddWAcc: {"vaddwacc", ECSimple},
+	OpAccClr:   {"accclr", ECSimple},
+	OpAccMov:   {"accmov", ECSimple},
+
+	Op3DVLoad: {"dvload", ECMem},
+	Op3DVMov:  {"3dvmov", ECMove3D},
+}
+
+// Name returns the opcode mnemonic.
+func (o Op) Name() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Class returns the opcode's functional-unit class.
+func (o Op) Class() ExecClass {
+	if int(o) < len(opTable) {
+		return opTable[o].class
+	}
+	return ECSimple
+}
+
+// Latency returns the execution latency in cycles for non-memory classes.
+// Memory latencies are produced by the memory subsystem; ECMove3D latency
+// is the 3-cycle 3D register file access of §5.3.
+func (c ExecClass) Latency() int {
+	switch c {
+	case ECSimple:
+		return 1
+	case ECIMul, ECPMul, ECPSad:
+		return 3
+	case ECMove3D:
+		return 3
+	case ECMem:
+		return 0 // resolved by the memory model
+	}
+	return 1
+}
+
+// IsPacked reports whether the opcode is a packed (μSIMD-style) ALU
+// operation shareable between the MMX and MOM instruction kinds.
+func (o Op) IsPacked() bool {
+	return o >= OpPAddB && o <= OpPShufW
+}

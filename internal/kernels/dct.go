@@ -1,0 +1,165 @@
+package kernels
+
+import "math"
+
+// Fixed-point 8x8 DCT machinery shared by the MPEG-2 and JPEG kernels.
+//
+// The transform matrix is the orthonormal DCT-II basis
+//
+//	M[u][x] = c(u)/2 * cos((2x+1) u π / 16),  c(0)=1/√2, c(u>0)=1,
+//
+// quantized to Q12 (x4096). One pass computes dst = src · Mᵀ with
+// per-coefficient rounding ((Σ + 2048) >> 12) and 16-bit saturation —
+// exactly what the packed pmaddwd/paddd/psrad/packssdw sequence the
+// code generators emit computes. Pass + transpose applied twice yields
+// M·A·Mᵀ (the 2D DCT); with the transposed table it yields Mᵀ·A·M (the
+// 2D IDCT). The scalar references below share every rounding step with
+// the emitted code, so kernel outputs match bit for bit.
+
+const (
+	dctScaleBits = 12
+	dctRound     = 1 << (dctScaleBits - 1)
+	blockBytes   = 128 // 8x8 int16
+)
+
+// fdctCoef is the Q12 forward transform matrix; idctCoef its transpose.
+var fdctCoef, idctCoef [8][8]int16
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			v := cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			fdctCoef[u][x] = int16(math.Round(v * 4096))
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			idctCoef[u][x] = fdctCoef[x][u]
+		}
+	}
+}
+
+func sat16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// refDCTPass computes dst[y*8+u] = sat16((Σ_x src[y*8+x]*T[u][x] + 2048) >> 12).
+func refDCTPass(src *[64]int16, T *[8][8]int16) [64]int16 {
+	var dst [64]int16
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var sum int32
+			for x := 0; x < 8; x++ {
+				sum += int32(src[y*8+x]) * int32(T[u][x])
+			}
+			dst[y*8+u] = sat16((sum + dctRound) >> dctScaleBits)
+		}
+	}
+	return dst
+}
+
+// refTranspose transposes an 8x8 block.
+func refTranspose(a *[64]int16) [64]int16 {
+	var t [64]int16
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			t[x*8+y] = a[y*8+x]
+		}
+	}
+	return t
+}
+
+func refTransform(block *[64]int16, T *[8][8]int16) [64]int16 {
+	p1 := refDCTPass(block, T)
+	t1 := refTranspose(&p1)
+	p2 := refDCTPass(&t1, T)
+	return refTranspose(&p2)
+}
+
+// RefFDCT is the scalar fixed-point forward 8x8 DCT.
+func RefFDCT(block *[64]int16) [64]int16 { return refTransform(block, &fdctCoef) }
+
+// RefIDCT is the scalar fixed-point inverse 8x8 DCT.
+func RefIDCT(block *[64]int16) [64]int16 { return refTransform(block, &idctCoef) }
+
+// packedCoefLayout lays a transform table out for the pmaddwd group
+// schedule: for u-group g (u = 2g, 2g+1) and x-pair p (x = 2p, 2p+1), the
+// quadword at offset (g*4+p)*8 holds words
+//
+//	[T[2g][2p], T[2g][2p+1], T[2g+1][2p], T[2g+1][2p+1]].
+func packedCoefLayout(T *[8][8]int16) []int16 {
+	out := make([]int16, 64)
+	for g := 0; g < 4; g++ {
+		for p := 0; p < 4; p++ {
+			base := (g*4 + p) * 4
+			out[base+0] = T[2*g][2*p]
+			out[base+1] = T[2*g][2*p+1]
+			out[base+2] = T[2*g+1][2*p]
+			out[base+3] = T[2*g+1][2*p+1]
+		}
+	}
+	return out
+}
+
+// Quantization. quant = (coef * recip) >> 16 (pmulhw semantics); dequant =
+// low 16 bits of coef * qstep (pmullw semantics). Reciprocals are
+// floor(65536/step), which keeps |quant| small enough that dequantization
+// never wraps for the value ranges our DCT produces.
+
+// jpegQuantTable is the ISO JPEG Annex K luminance quantization table.
+var jpegQuantTable = [64]int16{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// mpeg2QuantTable is a flat quantizer (the MPEG-2 non-intra default).
+var mpeg2QuantTable = func() [64]int16 {
+	var t [64]int16
+	for i := range t {
+		t[i] = 16
+	}
+	return t
+}()
+
+// quantRecips returns floor(65536/step) per coefficient.
+func quantRecips(steps *[64]int16) [64]int16 {
+	var r [64]int16
+	for i, s := range steps {
+		r[i] = int16(65536 / int32(s))
+	}
+	return r
+}
+
+// refQuant applies pmulhw-style quantization.
+func refQuant(coefs *[64]int16, recips *[64]int16) [64]int16 {
+	var q [64]int16
+	for i := range q {
+		q[i] = int16((int32(coefs[i]) * int32(recips[i])) >> 16)
+	}
+	return q
+}
+
+// refDequant applies pmullw-style dequantization.
+func refDequant(q *[64]int16, steps *[64]int16) [64]int16 {
+	var c [64]int16
+	for i := range c {
+		c[i] = int16(int32(q[i]) * int32(steps[i])) // low 16 bits, as pmullw
+	}
+	return c
+}

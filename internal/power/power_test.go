@@ -1,0 +1,66 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/vmem"
+)
+
+func TestZeroCycles(t *testing.T) {
+	b := Estimate(DefaultParams(), 0, &vmem.Stats{}, 0, 0)
+	if b.Total() != 0 {
+		t.Error("zero-length run must have zero power")
+	}
+}
+
+func TestPowerScalesWithActivity(t *testing.T) {
+	p := DefaultParams()
+	low := Estimate(p, 1000, &vmem.Stats{Accesses: 100, Words: 100}, 0, 0)
+	high := Estimate(p, 1000, &vmem.Stats{Accesses: 200, Words: 200}, 0, 0)
+	if high.L2Watts != 2*low.L2Watts {
+		t.Errorf("power must be linear in activity: %v vs %v", low.L2Watts, high.L2Watts)
+	}
+}
+
+func TestPowerInverseInTime(t *testing.T) {
+	p := DefaultParams()
+	st := &vmem.Stats{Accesses: 1000, Words: 4000}
+	fast := Estimate(p, 1000, st, 0, 0)
+	slow := Estimate(p, 2000, st, 0, 0)
+	if fast.L2Watts != 2*slow.L2Watts {
+		t.Error("same energy over twice the time must halve power")
+	}
+}
+
+func TestD3RFNegligible(t *testing.T) {
+	// A representative 3D mix: wide loads plus register reads must cost
+	// far less in the 3D RF than in the L2 (the paper's §6.3 claim).
+	p := DefaultParams()
+	st := &vmem.Stats{Accesses: 10000, Words: 100000, D3Words: 100000}
+	b := Estimate(p, 100000, st, 0, 50000)
+	if b.D3Watts >= 0.2*b.L2Watts {
+		t.Errorf("3D RF power (%f) must be negligible next to L2 (%f)", b.D3Watts, b.L2Watts)
+	}
+}
+
+func TestScalarSideCharged(t *testing.T) {
+	p := DefaultParams()
+	withScalar := Estimate(p, 1000, &vmem.Stats{}, 100, 0)
+	if withScalar.L2Watts <= 0 {
+		t.Error("scalar L2 fills must contribute energy")
+	}
+}
+
+func TestPaperPowerRange(t *testing.T) {
+	// At the access densities our workloads produce (~0.1-0.5 accesses
+	// per cycle), average power must land in the paper's 1-20 W band.
+	p := DefaultParams()
+	for _, density := range []float64{0.1, 0.3, 0.5} {
+		cycles := int64(100000)
+		acc := uint64(density * float64(cycles))
+		b := Estimate(p, cycles, &vmem.Stats{Accesses: acc, Words: acc * 2}, 0, 0)
+		if b.L2Watts < 1 || b.L2Watts > 25 {
+			t.Errorf("density %.1f: %.1f W outside the paper's range", density, b.L2Watts)
+		}
+	}
+}

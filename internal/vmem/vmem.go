@@ -1,0 +1,307 @@
+// Package vmem implements the vector memory subsystems compared in the
+// paper (§3.1, Fig 2, Fig 8): the ideal memory, the multi-banked cache
+// (4 ports x 8 banks behind a crossbar), the vector cache (one wide port
+// with two interleaved line banks and an interchange/shift&mask network),
+// and the vector cache extended with the 3D register file datapath that
+// can sink up to a whole L2 line per cycle.
+//
+// Each subsystem schedules the element accesses of one vector memory
+// instruction against its port/bank resources and the shared L2 cache
+// model, returning the cycle at which the instruction's last element
+// arrives. Resource state persists across instructions, so back-to-back
+// vector memory operations contend realistically.
+package vmem
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Timing holds the memory latencies the subsystems compose.
+type Timing struct {
+	L2Latency  int64 // L2 access latency (20 in the base system)
+	MemLatency int64 // additional main-memory latency on an L2 miss
+}
+
+// DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
+func DefaultTiming() Timing { return Timing{L2Latency: 20, MemLatency: 100} }
+
+// Stats aggregates a subsystem's activity. "Accesses" counts cache access
+// cycles — the unit of Table 4's L2 activity and the denominator of the
+// effective bandwidth of Fig 6. "Words" counts 64-bit words transferred,
+// the unit of Fig 7's traffic.
+type Stats struct {
+	Instructions uint64
+	Accesses     uint64
+	Words        uint64
+	Elements     uint64
+	Misses       uint64
+	Conflicts    uint64 // multi-banked: accesses delayed by bank conflicts
+	Invalidates  uint64 // L1 lines invalidated by the exclusive-bit filter
+	D3Words      uint64 // words written into the 3D register file lanes
+}
+
+// EffectiveBandwidth is words transferred per cache access (Fig 6).
+func (s *Stats) EffectiveBandwidth() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Words) / float64(s.Accesses)
+}
+
+// System is one vector memory subsystem.
+type System interface {
+	// Name identifies the subsystem in reports.
+	Name() string
+	// Issue schedules all element accesses of a vector memory
+	// instruction beginning no earlier than cycle t0 and returns the
+	// completion cycle of the last element.
+	Issue(in *isa.Inst, t0 int64) int64
+	// Stats exposes the accumulated counters.
+	Stats() *Stats
+}
+
+// Ideal is the idealistic memory of §3.1: single-cycle latency, unbounded
+// bandwidth, every access a hit.
+type Ideal struct {
+	st Stats
+}
+
+// NewIdeal returns an ideal vector memory.
+func NewIdeal() *Ideal { return &Ideal{} }
+
+// Name implements System.
+func (i *Ideal) Name() string { return "ideal" }
+
+// Stats implements System.
+func (i *Ideal) Stats() *Stats { return &i.st }
+
+// Issue implements System: everything completes next cycle.
+func (i *Ideal) Issue(in *isa.Inst, t0 int64) int64 {
+	i.st.Instructions++
+	words := uint64(in.Bytes()+7) / 8
+	i.st.Words += words
+	i.st.Accesses += words
+	i.st.Elements += uint64(in.VL)
+	return t0 + 1
+}
+
+// MultiBanked is the 4-port, 8-bank design of Fig 2-a: every element is a
+// single-word access that needs a free port and a conflict-free bank.
+type MultiBanked struct {
+	l2      *cache.Cache
+	l1      *cache.Cache // invalidation target for vector stores (may be nil)
+	tim     Timing
+	ports   []int64
+	banks   []int64
+	st      Stats
+	scratch []isa.ElemAccess
+}
+
+// NewMultiBanked builds the multi-banked subsystem over the shared L2.
+func NewMultiBanked(l2, l1 *cache.Cache, tim Timing, nPorts, nBanks int) *MultiBanked {
+	return &MultiBanked{
+		l2: l2, l1: l1, tim: tim,
+		ports: make([]int64, nPorts),
+		banks: make([]int64, nBanks),
+	}
+}
+
+// Name implements System.
+func (m *MultiBanked) Name() string { return "multibanked" }
+
+// Stats implements System.
+func (m *MultiBanked) Stats() *Stats { return &m.st }
+
+// Issue implements System.
+func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
+	m.st.Instructions++
+	m.scratch = in.ElemAddrs(m.scratch[:0])
+	done := t0
+	for _, el := range m.scratch {
+		m.st.Elements++
+		// Elements wider than a word (3D loads on this subsystem) cost
+		// one bank access per word.
+		for w := 0; w < (el.Size+7)/8; w++ {
+			addr := el.Addr + uint64(8*w)
+			bank := (addr >> 3) % uint64(len(m.banks))
+			// Earliest free port.
+			p := 0
+			for i := 1; i < len(m.ports); i++ {
+				if m.ports[i] < m.ports[p] {
+					p = i
+				}
+			}
+			t := t0
+			if m.ports[p] > t {
+				t = m.ports[p]
+			}
+			if m.banks[bank] > t {
+				m.st.Conflicts++
+				t = m.banks[bank]
+			}
+			m.ports[p] = t + 1
+			m.banks[bank] = t + 1
+			m.st.Accesses++
+			m.st.Words++
+			lat := m.tim.L2Latency
+			if !m.access(addr, in.IsStore) {
+				m.st.Misses++
+				lat += m.tim.MemLatency
+			}
+			if ct := t + lat; ct > done {
+				done = ct
+			}
+		}
+	}
+	return done
+}
+
+func (m *MultiBanked) access(addr uint64, store bool) bool {
+	coherenceInvalidate(m.l2, m.l1, addr, store, &m.st)
+	return m.l2.Access(addr, store, false).Hit
+}
+
+// VectorCache is the port-widening design of Fig 2-b: one port delivering
+// up to `lanes` consecutive 64-bit words per access (two interleaved line
+// banks allow crossing one line boundary). With wide3D set it is the
+// Fig 8-c system: dvload elements of up to a whole L2 line move in a
+// single access into the 3D register file.
+type VectorCache struct {
+	l2       *cache.Cache
+	l1       *cache.Cache
+	tim      Timing
+	lanes    int
+	wide3D   bool
+	portFree int64
+	st       Stats
+	scratch  []isa.ElemAccess
+}
+
+// NewVectorCache builds the vector cache subsystem over the shared L2.
+func NewVectorCache(l2, l1 *cache.Cache, tim Timing, lanes int, wide3D bool) *VectorCache {
+	return &VectorCache{l2: l2, l1: l1, tim: tim, lanes: lanes, wide3D: wide3D}
+}
+
+// Name implements System.
+func (v *VectorCache) Name() string {
+	if v.wide3D {
+		return "vectorcache+3D"
+	}
+	return "vectorcache"
+}
+
+// Stats implements System.
+func (v *VectorCache) Stats() *Stats { return &v.st }
+
+// Issue implements System.
+func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
+	v.st.Instructions++
+	done := t0
+	access := func(addr uint64, words int, elems int) {
+		t := t0
+		if v.portFree > t {
+			t = v.portFree
+		}
+		v.portFree = t + 1
+		v.st.Accesses++
+		v.st.Words += uint64(words)
+		v.st.Elements += uint64(elems)
+		lat := v.tim.L2Latency
+		if !v.lookup(addr, uint64(words*8), in.IsStore) {
+			v.st.Misses++
+			lat += v.tim.MemLatency
+		}
+		if ct := t + lat; ct > done {
+			done = ct
+		}
+	}
+
+	if in.Kind == isa.Kind3DLoad && v.wide3D {
+		// One wide access per element: the two interleaved banks deliver
+		// any span of up to a full line's width crossing at most one
+		// line boundary, written in parallel to one 3D register lane.
+		for e := 0; e < in.VL; e++ {
+			addr := in.Addr + uint64(int64(e)*in.Stride)
+			access(addr, in.Width, 1)
+			v.st.D3Words += uint64(in.Width)
+		}
+		return done
+	}
+
+	switch {
+	case in.Kind == isa.Kind3DLoad:
+		// A 3D load on a plain vector cache (not a paper configuration,
+		// but kept well-defined): each element moves lanes words per
+		// access.
+		for e := 0; e < in.VL; e++ {
+			base := in.Addr + uint64(int64(e)*in.Stride)
+			for w := 0; w < in.Width; w += v.lanes {
+				n := in.Width - w
+				if n > v.lanes {
+					n = v.lanes
+				}
+				access(base+uint64(8*w), n, 0)
+			}
+			v.st.Elements++
+		}
+	case in.Stride == 0:
+		// Broadcast: a single access feeds every element.
+		access(in.Addr, 1, in.VL)
+	case in.Stride == 8:
+		// Consecutive elements: runs of up to `lanes` words per access.
+		for e := 0; e < in.VL; e += v.lanes {
+			n := in.VL - e
+			if n > v.lanes {
+				n = v.lanes
+			}
+			access(in.Addr+uint64(8*e), n, n)
+		}
+	default:
+		// Strided: one element per access — the vector cache cannot
+		// gather non-consecutive words in one cycle (§3.1).
+		for e := 0; e < in.VL; e++ {
+			access(in.Addr+uint64(int64(e)*in.Stride), 1, 1)
+		}
+	}
+	return done
+}
+
+// lookup touches every L2 line the access spans (at most two for 2D
+// accesses, two for 128-byte 3D elements) and reports whether all hit.
+func (v *VectorCache) lookup(addr, bytes uint64, store bool) bool {
+	if bytes == 0 {
+		bytes = 8
+	}
+	first := v.l2.LineAddr(addr)
+	last := v.l2.LineAddr(addr + bytes - 1)
+	hit := true
+	for a := first; ; a += uint64(v.l2.Config().LineSize) {
+		coherenceInvalidate(v.l2, v.l1, a, store, &v.st)
+		if !v.l2.Access(a, store, false).Hit {
+			hit = false
+		}
+		if a == last {
+			break
+		}
+	}
+	return hit
+}
+
+// coherenceInvalidate applies the exclusive-bit policy (§5.3): when a
+// vector store touches an L2 line that may be cached in the L1, the L1
+// copies are invalidated.
+func coherenceInvalidate(l2, l1 *cache.Cache, addr uint64, store bool, st *Stats) {
+	if !store || l1 == nil {
+		return
+	}
+	if !l2.ExclusiveInL1(addr) {
+		return
+	}
+	lineA := l2.LineAddr(addr)
+	for a := lineA; a < lineA+uint64(l2.Config().LineSize); a += uint64(l1.Config().LineSize) {
+		if l1.Invalidate(a) {
+			st.Invalidates++
+		}
+	}
+}

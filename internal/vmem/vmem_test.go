@@ -1,0 +1,190 @@
+package vmem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+func l2() *cache.Cache { return cache.New(cache.L2Config(20)) }
+
+func tim() Timing { return Timing{L2Latency: 20, MemLatency: 100} }
+
+func momLoad(addr uint64, vl int, stride int64) *isa.Inst {
+	return &isa.Inst{Op: isa.OpVLoad, Kind: isa.KindMOMMem, Addr: addr, VL: vl, Stride: stride}
+}
+
+func dvLoad(addr uint64, vl, width int, stride int64) *isa.Inst {
+	return &isa.Inst{Op: isa.Op3DVLoad, Kind: isa.Kind3DLoad, Addr: addr, VL: vl, Width: width, Stride: stride}
+}
+
+func TestIdealSingleCycle(t *testing.T) {
+	id := NewIdeal()
+	done := id.Issue(momLoad(0x1000, 16, 176), 100)
+	if done != 101 {
+		t.Errorf("ideal done = %d, want 101", done)
+	}
+	if id.Stats().Words != 16 {
+		t.Errorf("words = %d", id.Stats().Words)
+	}
+}
+
+func TestMultiBankedConflictFree(t *testing.T) {
+	m := NewMultiBanked(l2(), nil, tim(), 4, 8)
+	// 8 consecutive words hit 8 distinct banks: 4 ports -> 2 cycles of
+	// issue; completion = start cycle of last + latency (+miss on first).
+	done := m.Issue(momLoad(0, 8, 8), 0)
+	st := m.Stats()
+	if st.Accesses != 8 || st.Words != 8 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Elements start at cycles 0,0,0,0,1,1,1,1; the line misses once:
+	// every element of the same line shares the fill? No: each element
+	// access is independent; the first misses (120 extra), later ones hit
+	// because the line is allocated. done = max(0+120+..)
+	if done < 120 {
+		t.Errorf("done = %d, expected first-miss latency to dominate", done)
+	}
+}
+
+func TestMultiBankedBankConflicts(t *testing.T) {
+	m := NewMultiBanked(l2(), nil, tim(), 4, 8)
+	// Stride 64 bytes = 8 words: every element maps to the same bank.
+	m.Issue(momLoad(0, 8, 64), 0)
+	if m.Stats().Conflicts == 0 {
+		t.Error("same-bank stride must produce conflicts")
+	}
+	// Port-limited but conflict-free pattern for comparison.
+	m2 := NewMultiBanked(l2(), nil, tim(), 4, 8)
+	m2.Issue(momLoad(0, 8, 8), 0)
+	if m2.Stats().Conflicts != 0 {
+		t.Error("consecutive words must be conflict-free across 8 banks")
+	}
+}
+
+func TestVectorCacheConsecutiveRuns(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	v.Issue(momLoad(0x100, 16, 8), 0)
+	st := v.Stats()
+	// 16 consecutive words in runs of 4 = 4 accesses.
+	if st.Accesses != 4 {
+		t.Errorf("accesses = %d, want 4", st.Accesses)
+	}
+	if st.Words != 16 {
+		t.Errorf("words = %d", st.Words)
+	}
+	if bw := st.EffectiveBandwidth(); bw != 4 {
+		t.Errorf("effective bandwidth = %v, want 4", bw)
+	}
+}
+
+func TestVectorCacheStridedDegrades(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	v.Issue(momLoad(0x100, 16, 176), 0)
+	st := v.Stats()
+	if st.Accesses != 16 {
+		t.Errorf("accesses = %d, want 16 (one element per cycle)", st.Accesses)
+	}
+	if bw := st.EffectiveBandwidth(); bw != 1 {
+		t.Errorf("effective bandwidth = %v, want 1", bw)
+	}
+}
+
+func TestVectorCacheBroadcast(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	v.Issue(momLoad(0x100, 8, 0), 0)
+	if v.Stats().Accesses != 1 {
+		t.Errorf("broadcast accesses = %d, want 1", v.Stats().Accesses)
+	}
+}
+
+func TestVectorCache3DWideAccess(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, true)
+	v.Issue(dvLoad(0x100, 16, 16, 176), 0)
+	st := v.Stats()
+	// One 128-byte access per element.
+	if st.Accesses != 16 {
+		t.Errorf("accesses = %d, want 16", st.Accesses)
+	}
+	if st.Words != 16*16 {
+		t.Errorf("words = %d, want 256", st.Words)
+	}
+	if bw := st.EffectiveBandwidth(); bw != 16 {
+		t.Errorf("effective bandwidth = %v, want 16", bw)
+	}
+}
+
+func TestVectorCachePortSerialization(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	// Warm the line so both instructions hit.
+	v.Issue(momLoad(0x100, 4, 8), 0)
+	d1 := v.Issue(momLoad(0x100, 4, 8), 10)
+	d2 := v.Issue(momLoad(0x100, 4, 8), 10)
+	if d2 != d1+1 {
+		t.Errorf("second instruction must wait for the port: %d then %d", d1, d2)
+	}
+}
+
+func TestMissLatency(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	d := v.Issue(momLoad(0x100, 1, 8), 0)
+	if d != 0+20+100 {
+		t.Errorf("miss completion = %d, want 120", d)
+	}
+	d = v.Issue(momLoad(0x100, 1, 8), 200)
+	if d != 220 {
+		t.Errorf("hit completion = %d, want 220", d)
+	}
+	if v.Stats().Misses != 1 {
+		t.Errorf("misses = %d", v.Stats().Misses)
+	}
+}
+
+func TestLineCrossingCountsOneAccess(t *testing.T) {
+	v := NewVectorCache(l2(), nil, tim(), 4, false)
+	// 4 words starting 8 bytes before a line boundary: spans two lines,
+	// still one access (two interleaved banks).
+	v.Issue(momLoad(128-8, 4, 8), 0)
+	if v.Stats().Accesses != 1 {
+		t.Errorf("accesses = %d, want 1", v.Stats().Accesses)
+	}
+}
+
+func TestExclusiveBitInvalidatesL1(t *testing.T) {
+	l2c := l2()
+	l1c := cache.New(cache.L1Config())
+	// Scalar side pulls a line into L1 and marks it exclusive in L2.
+	l1c.Access(0x1000, false, false)
+	l2c.Access(0x1000, false, true)
+	v := NewVectorCache(l2c, l1c, tim(), 4, false)
+	st := &isa.Inst{Op: isa.OpVStore, Kind: isa.KindMOMMem, Addr: 0x1000, VL: 4, Stride: 8, IsStore: true}
+	v.Issue(st, 0)
+	if l1c.Contains(0x1000) {
+		t.Error("vector store must invalidate the L1 copy")
+	}
+	if v.Stats().Invalidates == 0 {
+		t.Error("invalidation must be counted")
+	}
+	// A second store to the same line: exclusive bit already cleared.
+	before := v.Stats().Invalidates
+	v.Issue(st, 50)
+	if v.Stats().Invalidates != before {
+		t.Error("no further invalidations expected")
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	if NewIdeal().Name() != "ideal" {
+		t.Error("ideal name")
+	}
+	if NewMultiBanked(l2(), nil, tim(), 4, 8).Name() != "multibanked" {
+		t.Error("multibanked name")
+	}
+	if NewVectorCache(l2(), nil, tim(), 4, false).Name() != "vectorcache" {
+		t.Error("vectorcache name")
+	}
+	if NewVectorCache(l2(), nil, tim(), 4, true).Name() != "vectorcache+3D" {
+		t.Error("vectorcache+3D name")
+	}
+}

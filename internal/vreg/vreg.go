@@ -1,0 +1,141 @@
+// Package vreg models the multimedia register files of the three processor
+// configurations compared in the paper (MMX-like, MOM, MOM+3D) and
+// implements the register-file area model of Rixner et al. ("Register
+// Organization for Media Processing", HPCA-6) that the paper uses to
+// produce Table 3.
+//
+// The model charges each register bit cell a width of (3 + p) wire tracks
+// and a height of (4 + p) wire tracks, where p is the number of ports
+// wired through the cell (each port adds one bit line and one word line).
+// With the paper's lane organization — a register file sliced across lanes
+// so each lane sees only its share of the bits but all of its ports — this
+// model reproduces every area figure of Table 3 exactly; the unit tests
+// assert so.
+package vreg
+
+import "fmt"
+
+// Wire-track geometry of a single-port-free storage cell.
+const (
+	cellWidthTracks  = 3
+	cellHeightTracks = 4
+	// busTrackLength is the modeled wire-track length of one cache bus
+	// bit (the "cache buses" rows of Table 3).
+	busTrackLength = 1024
+)
+
+// FileSpec describes one register file: geometry, replication across
+// lanes, and per-lane port counts.
+type FileSpec struct {
+	Name       string
+	BitsPerReg int // total architectural bits per register (all lanes)
+	Logical    int
+	Physical   int
+	ReadPorts  int // per lane
+	WritePorts int // per lane
+	Lanes      int // 1 if the file is not laned
+}
+
+// Ports returns the per-lane port count p used by the area model.
+func (s FileSpec) Ports() int { return s.ReadPorts + s.WritePorts }
+
+// AreaWT returns the file's area in square wire tracks under the Rixner
+// model: physical registers x bits x (3+p) x (4+p). Lanes partition bits,
+// not registers, so the total is independent of the lane count except
+// through the per-lane port count.
+func (s FileSpec) AreaWT() int64 {
+	p := s.Ports()
+	cell := int64(cellWidthTracks+p) * int64(cellHeightTracks+p)
+	return int64(s.Physical) * int64(s.BitsPerReg) * cell
+}
+
+// String summarizes the file.
+func (s FileSpec) String() string {
+	return fmt.Sprintf("%s: %d/%d regs x %db, %dR/%dW x %d lanes, %d wt",
+		s.Name, s.Logical, s.Physical, s.BitsPerReg, s.ReadPorts, s.WritePorts, s.Lanes, s.AreaWT())
+}
+
+// BusSpec models the dedicated buses between a register file and the cache
+// ports (the "cache buses" rows of Table 3).
+type BusSpec struct {
+	Buses int // number of independent buses
+	Bits  int // width of each bus
+}
+
+// AreaWT returns the bus area in square wire tracks.
+func (b BusSpec) AreaWT() int64 {
+	return int64(b.Buses) * int64(b.Bits) * busTrackLength
+}
+
+// Config is the complete multimedia register organization of one processor
+// configuration.
+type Config struct {
+	Name  string
+	Files []FileSpec
+	Bus   BusSpec // zero value when the configuration has no cache buses
+}
+
+// TotalWT returns the configuration's total register area including buses.
+func (c Config) TotalWT() int64 {
+	var t int64
+	for _, f := range c.Files {
+		t += f.AreaWT()
+	}
+	return t + c.Bus.AreaWT()
+}
+
+// The three configurations of Table 3.
+
+// MMX returns the MMX-like configuration: 32 logical / 80 physical 64-bit
+// registers with 12 read and 8 write ports, plus 4 x 64-bit cache buses.
+func MMX() Config {
+	return Config{
+		Name: "MMX",
+		Files: []FileSpec{
+			{Name: "MMX RF", BitsPerReg: 64, Logical: 32, Physical: 80, ReadPorts: 12, WritePorts: 8, Lanes: 1},
+		},
+		Bus: BusSpec{Buses: 4, Bits: 64},
+	}
+}
+
+// MOM returns the MOM configuration: 16 logical / 36 physical 16x64-bit
+// matrix registers laned 4 ways with 3R/2W per lane, plus the 192-bit
+// packed accumulator file and 4 x 64-bit cache buses.
+func MOM() Config {
+	return Config{
+		Name: "MOM",
+		Files: []FileSpec{
+			{Name: "MOM RF", BitsPerReg: 16 * 64, Logical: 16, Physical: 36, ReadPorts: 3, WritePorts: 2, Lanes: 4},
+			{Name: "Accumulator RF", BitsPerReg: 192, Logical: 2, Physical: 4, ReadPorts: 1, WritePorts: 1, Lanes: 1},
+		},
+		Bus: BusSpec{Buses: 4, Bits: 64},
+	}
+}
+
+// MOM3D returns the MOM + 3D memory vectorization configuration: the MOM
+// files plus the 3D vector register file (2 logical / 4 physical registers
+// of 16x16x64 bits, 1R/1W per lane over 4 lanes) and its 7-bit pointer
+// file. The 3D register file lanes connect directly to the L2 bit lines,
+// so no separate cache buses are charged (Table 3 marks them n/a).
+func MOM3D() Config {
+	return Config{
+		Name: "MOM+3D",
+		Files: []FileSpec{
+			{Name: "MOM RF", BitsPerReg: 16 * 64, Logical: 16, Physical: 36, ReadPorts: 3, WritePorts: 2, Lanes: 4},
+			{Name: "Accumulator RF", BitsPerReg: 192, Logical: 2, Physical: 4, ReadPorts: 1, WritePorts: 1, Lanes: 1},
+			{Name: "3D Vector RF", BitsPerReg: 16 * 16 * 64, Logical: 2, Physical: 4, ReadPorts: 1, WritePorts: 1, Lanes: 4},
+			{Name: "3D Pointer RF", BitsPerReg: 7, Logical: 2, Physical: 8, ReadPorts: 2, WritePorts: 2, Lanes: 1},
+		},
+	}
+}
+
+// Normalized returns each configuration's total area divided by the MMX
+// configuration's total, in the order given.
+func Normalized(cfgs ...Config) []float64 {
+	base := float64(MMX().TotalWT())
+	out := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = float64(c.TotalWT()) / base
+	}
+	return out
+}

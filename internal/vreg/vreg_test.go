@@ -1,0 +1,103 @@
+package vreg
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable3ExactAreas asserts that the Rixner area model reproduces every
+// area figure of Table 3 of the paper exactly (in square wire tracks).
+func TestTable3ExactAreas(t *testing.T) {
+	mmx := MMX()
+	if got := mmx.Files[0].AreaWT(); got != 2_826_240 {
+		t.Errorf("MMX RF area = %d, want 2826240", got)
+	}
+	if got := mmx.Bus.AreaWT(); got != 262_144 {
+		t.Errorf("MMX cache buses = %d, want 262144", got)
+	}
+	if got := mmx.TotalWT(); got != 3_088_384 {
+		t.Errorf("MMX total = %d, want 3088384", got)
+	}
+
+	mom := MOM()
+	if got := mom.Files[0].AreaWT(); got != 2_654_208 {
+		t.Errorf("MOM RF area = %d, want 2654208", got)
+	}
+	if got := mom.Files[1].AreaWT(); got != 23_040 {
+		t.Errorf("Accumulator RF area = %d, want 23040", got)
+	}
+	if got := mom.TotalWT(); got != 2_939_392 {
+		t.Errorf("MOM total = %d, want 2939392", got)
+	}
+
+	m3d := MOM3D()
+	if got := m3d.Files[2].AreaWT(); got != 1_966_080 {
+		t.Errorf("3D Vector RF area = %d, want 1966080", got)
+	}
+	if got := m3d.Files[3].AreaWT(); got != 3_136 {
+		t.Errorf("3D Pointer RF area = %d, want 3136", got)
+	}
+	if m3d.Bus.AreaWT() != 0 {
+		t.Error("MOM+3D has no separate cache buses (n/a in Table 3)")
+	}
+	if got := m3d.TotalWT(); got != 4_646_464 {
+		t.Errorf("MOM+3D total = %d, want 4646464", got)
+	}
+}
+
+// TestTable3Normalized asserts the paper's normalized overall areas:
+// 1.00 (MMX), 0.95 (MOM), 1.50 (MOM+3D).
+func TestTable3Normalized(t *testing.T) {
+	norm := Normalized(MMX(), MOM(), MOM3D())
+	want := []float64{1.00, 0.95, 1.50}
+	for i, w := range want {
+		if math.Abs(norm[i]-w) > 0.005 {
+			t.Errorf("normalized[%d] = %.4f, want %.2f", i, norm[i], w)
+		}
+	}
+}
+
+func TestAreaMonotonicInPorts(t *testing.T) {
+	base := FileSpec{BitsPerReg: 64, Physical: 16, ReadPorts: 1, WritePorts: 1, Lanes: 1}
+	more := base
+	more.ReadPorts = 4
+	if more.AreaWT() <= base.AreaWT() {
+		t.Error("area must grow with port count")
+	}
+	wider := base
+	wider.BitsPerReg = 128
+	if wider.AreaWT() != 2*base.AreaWT() {
+		t.Error("area must be linear in bits")
+	}
+}
+
+func TestPortsSum(t *testing.T) {
+	s := FileSpec{ReadPorts: 3, WritePorts: 2}
+	if s.Ports() != 5 {
+		t.Errorf("Ports = %d, want 5", s.Ports())
+	}
+}
+
+func TestConfigShapes(t *testing.T) {
+	if len(MMX().Files) != 1 {
+		t.Error("MMX has one register file")
+	}
+	if len(MOM().Files) != 2 {
+		t.Error("MOM has MOM RF + accumulator")
+	}
+	if len(MOM3D().Files) != 4 {
+		t.Error("MOM+3D has four register files")
+	}
+	// The 3D extension costs about 50% more area than MMX (paper abstract).
+	n := Normalized(MOM3D())
+	if n[0] < 1.45 || n[0] > 1.55 {
+		t.Errorf("MOM+3D normalized area = %.3f, want ~1.50", n[0])
+	}
+	for _, c := range []Config{MMX(), MOM(), MOM3D()} {
+		for _, f := range c.Files {
+			if f.String() == "" {
+				t.Error("empty FileSpec string")
+			}
+		}
+	}
+}
