@@ -1,0 +1,19 @@
+# The verify target is the tier-1 gate: CI runs it, and it is the
+# command to run before sending a change.
+
+.PHONY: verify build test fmt-check vet
+
+verify: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...

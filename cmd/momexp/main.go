@@ -8,6 +8,8 @@
 //	momexp -fig 9       one figure (3, 6, 7, 9, 10, 11)
 //	momexp -table 4     one table (1, 2, 3, 4)
 //	momexp -headline    the abstract's summary numbers
+//	momexp -dramsweep   the fixed-vs-SDRAM main-memory comparison
+//	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
 //	momexp -q           suppress per-simulation progress
 package main
 
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dram"
 	"repro/internal/experiments"
 )
 
@@ -23,19 +26,55 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate a single figure (3, 6, 7, 9, 10, 11)")
 	table := flag.Int("table", 0, "regenerate a single table (1..4)")
 	headline := flag.Bool("headline", false, "print only the headline summary")
+	dramsweep := flag.Bool("dramsweep", false, "print only the fixed-vs-SDRAM sweep")
+	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
+	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
+	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
 	r := experiments.NewRunner()
 	if !*quiet {
 		r.Progress = func(k experiments.SimKey) {
-			fmt.Fprintf(os.Stderr, "sim %-12s %-6s %-18s L2=%d\n", k.Bench, k.Variant, k.Mem, k.L2Lat)
+			fmt.Fprintf(os.Stderr, "sim %-12s %-6s %-18s L2=%d %s\n", k.Bench, k.Variant, k.Mem, k.L2Lat, k.DRAM)
 		}
+	}
+	// Reject explicitly-set knobs the chosen backend would silently
+	// ignore (shared policy with momsim).
+	dramKnobSet, dramSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "dmap", "dsched":
+			dramKnobSet = true
+		case "dram":
+			dramSet = true
+		}
+	})
+	if err := dram.ValidateFlagCombo(*dramName, dramKnobSet, false); err != nil {
+		fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+		os.Exit(2)
+	}
+	// The sweep crosses its own backend configurations; explicit dram
+	// flags would be silently ignored there, so reject the combination.
+	if *dramsweep && (dramSet || dramKnobSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched")
+		os.Exit(2)
+	}
+	if *dramName != "" {
+		// One Build call validates backend kind, mapping and scheduler;
+		// the runner would only panic on a bad spec much later.
+		if _, err := dram.Build(*dramName, *dmap, *dsched, 100); err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+			os.Exit(2)
+		}
+		r.DRAMSpec = dram.FormatSpec(*dramName, *dmap, *dsched)
 	}
 
 	switch {
 	case *headline:
 		fmt.Print(experiments.ComputeHeadline(r).Render())
+	case *dramsweep:
+		fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -59,6 +98,14 @@ func main() {
 		fmt.Println()
 		printFigure(r, 11)
 		fmt.Println()
+		// The sweep fixes its own backend configurations; with explicit
+		// dram flags it would silently disregard them, so skip it.
+		if dramSet || dramKnobSet {
+			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM sweep (it compares its own backend configurations)")
+		} else {
+			fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
+			fmt.Println()
+		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())
 	}
 }

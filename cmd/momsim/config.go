@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/kernels"
+	"repro/internal/vmem"
+)
+
+// options mirrors the command-line flags; resolve validates them into a
+// runnable configuration so flag handling is testable without flag.Parse.
+type options struct {
+	Bench  string
+	ISA    string
+	Mem    string
+	DRAM   string
+	DMap   string
+	DSched string
+	L2Lat  int64
+	MemLat int64
+	Gshare bool
+}
+
+// defaultOptions matches the flag defaults.
+func defaultOptions() options {
+	return options{
+		Bench: "mpeg2encode", ISA: "mom3d", Mem: "vcache3d",
+		DRAM: "fixed", DMap: "line", DSched: "frfcfs",
+		L2Lat: 20, MemLat: 100,
+	}
+}
+
+// runConfig is everything one simulation needs.
+type runConfig struct {
+	Bench   kernels.Benchmark
+	Variant kernels.Variant
+	Core    core.Config
+	MemKind core.MemKind
+	Timing  vmem.Timing
+}
+
+// resolve validates the options, building the benchmark, processor,
+// memory-system and DRAM-backend configuration or reporting which flag
+// value is unknown.
+func resolve(o options) (runConfig, error) {
+	var rc runConfig
+	bm, ok := kernels.ByName(o.Bench)
+	if !ok {
+		return rc, fmt.Errorf("unknown benchmark %q (mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode)", o.Bench)
+	}
+	variant, cfg, err := parseISA(o.ISA)
+	if err != nil {
+		return rc, err
+	}
+	memKind, err := parseMem(o.Mem)
+	if err != nil {
+		return rc, err
+	}
+	backend, err := dram.Build(o.DRAM, o.DMap, o.DSched, o.MemLat)
+	if err != nil {
+		return rc, err
+	}
+	cfg.UseGshare = o.Gshare
+	rc.Bench = bm
+	rc.Variant = variant
+	rc.Core = cfg
+	rc.MemKind = memKind
+	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend}
+	return rc, nil
+}
+
+func parseISA(s string) (kernels.Variant, core.Config, error) {
+	switch strings.ToLower(s) {
+	case "mmx":
+		return kernels.MMX, core.MMXCore(), nil
+	case "mom":
+		return kernels.MOM, core.MOMCore(), nil
+	case "mom3d", "mom+3d":
+		return kernels.MOM3D, core.MOMCore(), nil
+	}
+	return 0, core.Config{}, fmt.Errorf("unknown ISA %q (mmx, mom, mom3d)", s)
+}
+
+func parseMem(s string) (core.MemKind, error) {
+	switch strings.ToLower(s) {
+	case "ideal":
+		return core.MemIdeal, nil
+	case "multibanked", "mb":
+		return core.MemMultiBanked, nil
+	case "vcache", "vectorcache":
+		return core.MemVectorCache, nil
+	case "vcache3d", "vcache+3d":
+		return core.MemVectorCache3D, nil
+	}
+	return 0, fmt.Errorf("unknown memory system %q (ideal, multibanked, vcache, vcache3d)", s)
+}

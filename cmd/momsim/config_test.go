@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	rc, err := resolve(defaultOptions())
+	if err != nil {
+		t.Fatalf("resolve(defaults): %v", err)
+	}
+	if rc.Bench.Name != "mpeg2encode" {
+		t.Errorf("bench = %q, want mpeg2encode", rc.Bench.Name)
+	}
+	if rc.Variant != kernels.MOM3D {
+		t.Errorf("variant = %v, want MOM3D", rc.Variant)
+	}
+	if rc.MemKind != core.MemVectorCache3D {
+		t.Errorf("mem kind = %v, want vcache3d", rc.MemKind)
+	}
+	if rc.Timing.Backend == nil || rc.Timing.Backend.Name() != "fixed" {
+		t.Errorf("backend = %v, want fixed", rc.Timing.Backend)
+	}
+	if rc.Timing.L2Latency != 20 || rc.Timing.MemLatency != 100 {
+		t.Errorf("timing = %+v, want L2=20 mem=100", rc.Timing)
+	}
+}
+
+func TestResolveSDRAM(t *testing.T) {
+	o := defaultOptions()
+	o.DRAM, o.DMap, o.DSched = "sdram", "bank", "fcfs"
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(sdram): %v", err)
+	}
+	if got := rc.Timing.Backend.Name(); got != "sdram(bank,fcfs,open)" {
+		t.Errorf("backend = %q, want sdram(bank,fcfs,open)", got)
+	}
+}
+
+func TestResolveRejectsUnknownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // substring the error must mention
+	}{
+		{"bench", func(o *options) { o.Bench = "quake3" }, "benchmark"},
+		{"isa", func(o *options) { o.ISA = "avx512" }, "ISA"},
+		{"mem", func(o *options) { o.Mem = "dcache" }, "memory system"},
+		{"dram", func(o *options) { o.DRAM = "hbm" }, "dram backend"},
+		{"dmap", func(o *options) { o.DRAM = "sdram"; o.DMap = "xor" }, "mapping"},
+		{"dsched", func(o *options) { o.DRAM = "sdram"; o.DSched = "rr" }, "scheduler"},
+		{"dmap-fixed", func(o *options) { o.DMap = "xor" }, "mapping"},
+		{"dsched-fixed", func(o *options) { o.DSched = "rr" }, "scheduler"},
+	}
+	for _, c := range cases {
+		o := defaultOptions()
+		c.mut(&o)
+		_, err := resolve(o)
+		if err == nil {
+			t.Errorf("%s: resolve accepted an unknown value", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

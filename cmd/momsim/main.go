@@ -3,64 +3,90 @@
 //
 // Usage:
 //
-//	momsim -bench mpeg2encode -isa mom3d -mem vcache3d -l2 20
+//	momsim -bench mpeg2encode -isa mom3d -mem vcache3d -l2 20 -dram sdram
 //
 // ISA variants: mmx, mom, mom3d. Memory systems: ideal, multibanked,
-// vcache, vcache3d.
+// vcache, vcache3d. DRAM backends: fixed (flat latency), sdram (banked
+// controller; -dmap picks the address mapping, -dsched the scheduler).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/kernels"
 	"repro/internal/power"
 	"repro/internal/trace"
-	"repro/internal/vmem"
 )
 
 func main() {
-	benchName := flag.String("bench", "mpeg2encode", "benchmark: mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode")
-	isaName := flag.String("isa", "mom3d", "ISA variant: mmx, mom, mom3d")
-	memName := flag.String("mem", "vcache3d", "memory system: ideal, multibanked, vcache, vcache3d")
-	l2lat := flag.Int64("l2", 20, "L2 cache latency in cycles")
-	memLat := flag.Int64("mlat", 100, "main memory latency beyond L2 in cycles")
+	def := defaultOptions()
+	benchName := flag.String("bench", def.Bench, "benchmark: mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode")
+	isaName := flag.String("isa", def.ISA, "ISA variant: mmx, mom, mom3d")
+	memName := flag.String("mem", def.Mem, "memory system: ideal, multibanked, vcache, vcache3d")
+	dramName := flag.String("dram", def.DRAM, "main-memory backend: fixed, sdram")
+	dmap := flag.String("dmap", def.DMap, "sdram address mapping: line, bank, row")
+	dsched := flag.String("dsched", def.DSched, "sdram scheduler: fcfs, frfcfs")
+	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
+	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
 	verify := flag.Bool("verify", true, "check the kernel output against the scalar reference")
 	flag.Parse()
 
-	bm, ok := kernels.ByName(*benchName)
-	if !ok {
-		fail("unknown benchmark %q", *benchName)
+	// Reject explicitly-set knobs the chosen backend would silently
+	// ignore (shared policy with momexp).
+	dramKnobSet, dramSet, mlatSet := false, false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "dmap", "dsched":
+			dramKnobSet = true
+		case "dram":
+			dramSet = true
+		case "mlat":
+			mlatSet = true
+		}
+	})
+	if err := dram.ValidateFlagCombo(*dramName, dramKnobSet, mlatSet); err != nil {
+		fail("%v", err)
 	}
-	variant, cfg, err := parseISA(*isaName)
+
+	rc, err := resolve(options{
+		Bench: *benchName, ISA: *isaName, Mem: *memName,
+		DRAM: *dramName, DMap: *dmap, DSched: *dsched,
+		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
-	memKind, err := parseMem(*memName)
-	if err != nil {
-		fail("%v", err)
+	// Ideal memory has no cache hierarchy, so neither a DRAM backend
+	// nor a memory latency ever applies; reject explicit flags rather
+	// than ignore them.
+	if rc.MemKind == core.MemIdeal && (dramSet || dramKnobSet || mlatSet) {
+		fail("-dram/-dmap/-dsched/-mlat have no effect with -mem ideal")
 	}
-	cfg.UseGshare = *gshare
 
 	tr := &trace.Trace{}
 	tst := trace.NewStats()
-	digest := bm.Run(variant, trace.Multi{tr, tst})
+	digest := rc.Bench.Run(rc.Variant, trace.Multi{tr, tst})
 	if *verify {
-		ref := bm.Reference()
+		ref := rc.Bench.Reference()
 		if string(digest) != string(ref) {
 			fail("kernel output does not match the scalar reference")
 		}
 	}
 
-	tim := vmem.Timing{L2Latency: *l2lat, MemLatency: *memLat}
-	ms := core.NewMemSystem(memKind, tim, cfg.Lanes, variant == kernels.MMX && memKind != core.MemIdeal)
-	st := core.Simulate(cfg, ms, tr.Insts)
+	ms := core.NewMemSystem(rc.MemKind, rc.Timing, rc.Core.Lanes, rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal)
+	st := core.Simulate(rc.Core, ms, tr.Insts)
 
-	fmt.Printf("benchmark:   %s (%s, %s, L2=%d cycles)\n", bm.Name, variant, memKind, *l2lat)
+	if rc.MemKind == core.MemIdeal {
+		fmt.Printf("benchmark:   %s (%s, %s)\n", rc.Bench.Name, rc.Variant, rc.MemKind)
+	} else {
+		fmt.Printf("benchmark:   %s (%s, %s, L2=%d cycles, dram=%s)\n",
+			rc.Bench.Name, rc.Variant, rc.MemKind, *l2lat, rc.Timing.Backend.Name())
+	}
 	fmt.Printf("instructions: %d  cycles: %d  IPC: %.3f\n", st.Committed, st.Cycles, st.IPC())
 	if *verify {
 		fmt.Println("output verified against the scalar reference")
@@ -82,39 +108,24 @@ func main() {
 	}
 	fmt.Printf("L2 activity: %d accesses (%d from scalar misses)\n", ms.L2Activity(), ms.ScalarL2Accesses)
 	fmt.Printf("forwarded loads: %d\n", st.Forwarded)
-	if memKind != core.MemIdeal {
+	if ds := ms.DRAM().Stats(); ds.Accesses > 0 {
+		fmt.Printf("dram (%s): %d requests, %.2f bytes/cycle\n",
+			ms.DRAM().Name(), ds.Accesses, ds.AchievedBandwidth())
+		// Row-buffer and queue metrics only exist on the banked model.
+		if _, ok := ms.DRAM().(*dram.SDRAM); ok {
+			fmt.Printf("dram rows: hit rate %.3f (%d hit / %d miss / %d conflict), %d refreshes\n",
+				ds.RowHitRate(), ds.RowHits, ds.RowMisses, ds.RowConflicts, ds.Refreshes)
+			fmt.Printf("dram queue: avg %.2f (max %d), %d stall cycles, bank-level parallelism %.2f, bus utilization %.2f\n",
+				ds.AvgQueueOccupancy(), ds.QueueMax, ds.StallCycles, ds.BankLevelParallelism(), ds.BusUtilization())
+		}
+	}
+	if rc.MemKind != core.MemIdeal {
 		bd := power.Estimate(power.DefaultParams(), st.Cycles, vs, ms.ScalarL2Accesses, tst.D3MoveElems)
 		fmt.Printf("memory subsystem power: %.2f W (L2 %.2f, 3D RF %.3f)\n", bd.Total(), bd.L2Watts, bd.D3Watts)
 	}
 	if st.Mispredicts > 0 {
 		fmt.Printf("branch mispredicts: %d\n", st.Mispredicts)
 	}
-}
-
-func parseISA(s string) (kernels.Variant, core.Config, error) {
-	switch strings.ToLower(s) {
-	case "mmx":
-		return kernels.MMX, core.MMXCore(), nil
-	case "mom":
-		return kernels.MOM, core.MOMCore(), nil
-	case "mom3d", "mom+3d":
-		return kernels.MOM3D, core.MOMCore(), nil
-	}
-	return 0, core.Config{}, fmt.Errorf("unknown ISA %q (mmx, mom, mom3d)", s)
-}
-
-func parseMem(s string) (core.MemKind, error) {
-	switch strings.ToLower(s) {
-	case "ideal":
-		return core.MemIdeal, nil
-	case "multibanked", "mb":
-		return core.MemMultiBanked, nil
-	case "vcache", "vectorcache":
-		return core.MemVectorCache, nil
-	case "vcache3d", "vcache+3d":
-		return core.MemVectorCache3D, nil
-	}
-	return 0, fmt.Errorf("unknown memory system %q (ideal, multibanked, vcache, vcache3d)", s)
 }
 
 func fail(format string, args ...any) {

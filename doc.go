@@ -14,6 +14,10 @@
 //   - the cache hierarchy and the three vector memory subsystems —
 //     multi-banked, vector cache, vector cache + 3D register file
 //     (internal/cache, internal/vmem);
+//   - a banked SDRAM main-memory controller behind the L2 with
+//     row-buffer timing, configurable address mappings, FCFS/FR-FCFS
+//     scheduling and refresh, alongside the paper's flat-latency model
+//     (internal/dram);
 //   - an 8-way out-of-order cycle simulator in MMX and MOM
 //     configurations (internal/core), standing in for Jinks;
 //   - the Rixner register-file area model reproducing Table 3 exactly

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
+	"repro/internal/dram"
 	"repro/internal/isa"
 	"repro/internal/vmem"
 )
@@ -68,6 +71,12 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 	}
 	m.L1 = cache.New(cache.L1Config())
 	m.L2 = cache.New(cache.L2Config(tim.L2Latency))
+	// Every L2 miss becomes one backend request per L2 line, so the
+	// backend must agree on the transfer granularity.
+	if tim.Backend != nil && tim.Backend.LineBytes() != m.L2.Config().LineSize {
+		panic(fmt.Sprintf("dram line bytes %d != L2 line size %d",
+			tim.Backend.LineBytes(), m.L2.Config().LineSize))
+	}
 	switch kind {
 	case MemMultiBanked:
 		m.VM = vmem.NewMultiBanked(m.L2, m.L1, tim, 4, 8)
@@ -104,15 +113,21 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) int64 {
 		return t + m.L1.Config().Latency
 	}
 	m.ScalarL2Accesses++
-	lat := m.L1.Config().Latency + m.Tim.L2Latency
+	done := t + m.L1.Config().Latency + m.Tim.L2Latency
 	if !m.L2.Access(in.Addr, false, true).Hit {
-		lat += m.Tim.MemLatency
+		done = m.Tim.MissDone(in.Addr, done)
 	}
-	return t + lat
+	return done
 }
 
 // L2Activity returns total L2 accesses: vector subsystem activity plus
 // scalar-side misses (the Table 4 metric).
 func (m *MemSystem) L2Activity() uint64 {
 	return m.VM.Stats().Accesses + m.ScalarL2Accesses
+}
+
+// DRAM returns the main-memory backend shared by the vector and scalar
+// paths, or nil when the flat MemLatency model is in use.
+func (m *MemSystem) DRAM() dram.Backend {
+	return m.Tim.Backend
 }

@@ -1,0 +1,156 @@
+// Package dram models the main memory behind the L2. The seed treated
+// every L2 miss as a flat constant; this package replaces that constant
+// with a pluggable Backend so the simulator can model a real banked
+// SDRAM part: per-bank row-buffer state, open/closed page policies,
+// row-hit vs row-miss vs row-conflict timing composed from tRCD/tCAS/tRP
+// style parameters, a configurable physical address mapping, a bounded
+// controller queue with FCFS and FR-FCFS scheduling, and periodic
+// refresh.
+//
+// Requests are presented one at a time by the cache hierarchy, in issue
+// order, so the controller model is causal: scheduling never looks at
+// requests that have not arrived yet. FR-FCFS is modelled to first
+// order as the ability to issue row-management commands (precharge,
+// activate) to a bank as soon as that bank is free, overlapping them
+// with other banks' data transfers; FCFS serializes command issue
+// behind the previous request on the channel. The data bus of a channel
+// transfers one burst at a time under either scheduler.
+package dram
+
+// Backend is one main-memory model. Access schedules the line fill (or
+// write-back) containing addr, arriving at the controller at cycle t0,
+// and returns the cycle at which the data transfer completes. Backends
+// are stateful: bank and queue state persists across calls so
+// back-to-back misses contend realistically.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Access services one memory request and returns its completion
+	// cycle (always > t0).
+	Access(addr uint64, t0 int64) int64
+	// Stats exposes the accumulated counters.
+	Stats() *Stats
+	// LineBytes is the transfer granularity of one request; callers
+	// issue one request per cache line of this size.
+	LineBytes() int
+	// Reset clears all timing state and counters.
+	Reset()
+}
+
+// Stats aggregates a backend's activity.
+type Stats struct {
+	Accesses     uint64
+	RowHits      uint64 // open-page hit: column access only
+	RowMisses    uint64 // bank idle: activate + column access
+	RowConflicts uint64 // wrong row open: precharge + activate + column
+	Refreshes    uint64 // refresh epochs performed (per channel)
+	StallCycles  uint64 // cycles requests waited on a full controller queue
+	BusyCycles   uint64 // data-bus busy cycles summed over channels
+	Bytes        uint64 // bytes transferred
+
+	// QueueSum accumulates the controller-queue occupancy sampled at
+	// each request arrival (counting the arriving request); QueueMax
+	// is the high-water mark.
+	QueueSum uint64
+	QueueMax int
+
+	// BankBusySum accumulates, per request, the number of banks already
+	// busy when the request arrives — the bank-level parallelism the
+	// access stream achieves.
+	BankBusySum uint64
+
+	// FirstArrival and LastDone bound the active window used for the
+	// achieved-bandwidth figure.
+	FirstArrival int64
+	LastDone     int64
+}
+
+// RowHitRate is row hits per access (0 for an untouched backend, and
+// for backends that do not model rows).
+func (s *Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// AvgQueueOccupancy is the mean controller-queue occupancy observed at
+// request arrival.
+func (s *Stats) AvgQueueOccupancy() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.QueueSum) / float64(s.Accesses)
+}
+
+// BankLevelParallelism is the mean number of banks already busy when a
+// request arrives.
+func (s *Stats) BankLevelParallelism() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.BankBusySum) / float64(s.Accesses)
+}
+
+// AchievedBandwidth is bytes transferred per cycle over the window from
+// the first arrival to the last completion.
+func (s *Stats) AchievedBandwidth() float64 {
+	if s.LastDone <= s.FirstArrival {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.LastDone-s.FirstArrival)
+}
+
+// BusUtilization is the fraction of the active window the data buses
+// spent bursting, summed over channels (so a two-channel part tops out
+// at 2.0). Zero for backends that do not model a bus.
+func (s *Stats) BusUtilization() float64 {
+	if s.LastDone <= s.FirstArrival {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.LastDone-s.FirstArrival)
+}
+
+func (s *Stats) observe(t0, done int64, lineBytes int) {
+	if s.Accesses == 0 || t0 < s.FirstArrival {
+		s.FirstArrival = t0
+	}
+	if done > s.LastDone {
+		s.LastDone = done
+	}
+	s.Accesses++
+	s.Bytes += uint64(lineBytes)
+}
+
+// Fixed is the seed's flat-latency memory: every request completes a
+// constant number of cycles after it arrives, with unbounded bandwidth.
+type Fixed struct {
+	Latency   int64
+	lineBytes int
+	st        Stats
+}
+
+// NewFixed returns a flat-latency backend (the seed's 100-cycle DRAM
+// when latency is 100).
+func NewFixed(latency int64) *Fixed {
+	return &Fixed{Latency: latency, lineBytes: 128}
+}
+
+// Name implements Backend.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Stats implements Backend.
+func (f *Fixed) Stats() *Stats { return &f.st }
+
+// LineBytes implements Backend.
+func (f *Fixed) LineBytes() int { return f.lineBytes }
+
+// Reset implements Backend.
+func (f *Fixed) Reset() { f.st = Stats{} }
+
+// Access implements Backend: completion is always t0 + Latency.
+func (f *Fixed) Access(addr uint64, t0 int64) int64 {
+	done := t0 + f.Latency
+	f.st.observe(t0, done, f.lineBytes)
+	return done
+}

@@ -1,0 +1,469 @@
+package dram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mapping selects how a physical address is decomposed into channel,
+// bank and row bits (column bits are the line index within a row).
+type Mapping int
+
+const (
+	// MapLine interleaves consecutive L2 lines across channels and
+	// banks (channel and bank bits just above the line offset):
+	// streams spread over every bank, each bank walking one row.
+	MapLine Mapping = iota
+	// MapBank keeps a whole row's worth of consecutive lines in one
+	// bank before rotating to the next channel and bank: maximal
+	// row-buffer locality while successive rows still spread out.
+	MapBank
+	// MapRow fills every row of a bank before touching the next bank
+	// (channel and bank bits above the bounded row field): a stream
+	// smaller than a bank sees one bank at a time.
+	MapRow
+)
+
+// String names the mapping as the -dmap flag spells it.
+func (m Mapping) String() string {
+	switch m {
+	case MapLine:
+		return "line"
+	case MapBank:
+		return "bank"
+	case MapRow:
+		return "row"
+	}
+	return "?"
+}
+
+// ParseMapping resolves a -dmap flag value.
+func ParseMapping(s string) (Mapping, error) {
+	switch strings.ToLower(s) {
+	case "line":
+		return MapLine, nil
+	case "bank":
+		return MapBank, nil
+	case "row":
+		return MapRow, nil
+	}
+	return 0, fmt.Errorf("unknown address mapping %q (line, bank, row)", s)
+}
+
+// Scheduler selects the controller's request-scheduling policy.
+type Scheduler int
+
+const (
+	// FCFS issues commands strictly in arrival order: a request's row
+	// management waits for the previous request on its channel.
+	FCFS Scheduler = iota
+	// FRFCFS lets row management start as soon as the target bank is
+	// free, overlapping precharge/activate with other banks' bursts.
+	FRFCFS
+)
+
+// String names the scheduler as the -dsched flag spells it.
+func (s Scheduler) String() string {
+	switch s {
+	case FCFS:
+		return "fcfs"
+	case FRFCFS:
+		return "frfcfs"
+	}
+	return "?"
+}
+
+// ParseScheduler resolves a -dsched flag value.
+func ParseScheduler(s string) (Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "fcfs":
+		return FCFS, nil
+	case "frfcfs", "fr-fcfs":
+		return FRFCFS, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (fcfs, frfcfs)", s)
+}
+
+// PagePolicy selects what a bank does with its row buffer after an
+// access.
+type PagePolicy int
+
+const (
+	// OpenPage leaves the accessed row open, betting on locality.
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges immediately after every access: no row
+	// hits, no row conflicts.
+	ClosedPage
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	if p == ClosedPage {
+		return "closed"
+	}
+	return "open"
+}
+
+// Config describes one SDRAM part and its controller. All counts must
+// be powers of two and all latencies are in CPU cycles.
+type Config struct {
+	Channels    int // independent channels, each with its own data bus
+	Ranks       int // ranks per channel
+	Banks       int // banks per rank
+	RowBytes    int // row-buffer size per bank
+	RowsPerBank int // rows per bank (bounds the row field of MapRow)
+	LineBytes   int // bytes per request (the L2 line size)
+
+	TRCD   int64 // activate → column command
+	TCAS   int64 // column command → first data
+	TRP    int64 // precharge
+	TBurst int64 // data-bus cycles per line transfer
+	TREFI  int64 // refresh interval per channel (0 disables refresh)
+	TRFC   int64 // refresh duration (all banks of the channel stall)
+
+	QueueDepth int // in-flight requests per channel before back-pressure
+
+	Mapping   Mapping
+	Scheduler Scheduler
+	Policy    PagePolicy
+}
+
+// DefaultConfig is a two-channel, two-rank, four-bank part whose
+// row-miss service time is comparable to the seed's flat 100-cycle
+// DRAM, so row hits run faster than the seed and row conflicts slower.
+func DefaultConfig() Config {
+	return Config{
+		Channels: 2, Ranks: 2, Banks: 4,
+		RowBytes: 8 << 10, RowsPerBank: 1 << 15, LineBytes: 128,
+		TRCD: 30, TCAS: 40, TRP: 30, TBurst: 8,
+		TREFI: 7800, TRFC: 120,
+		QueueDepth: 16,
+		Mapping:    MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+	}
+}
+
+type bank struct {
+	freeAt  int64
+	openRow int64
+	open    bool
+}
+
+type channel struct {
+	banks       []bank
+	busFree     int64   // data bus: one burst at a time
+	cmdFree     int64   // FCFS: command issue serialization point
+	nextRefresh int64   // next refresh epoch boundary
+	inflight    []int64 // completion times of queued requests
+}
+
+// SDRAM is the banked controller model.
+type SDRAM struct {
+	cfg   Config
+	chans []channel
+	st    Stats
+
+	lineShift, colBits, rowBits, chanBits, bankBits uint
+}
+
+// NewSDRAM builds a controller from its configuration, panicking on an
+// invalid geometry (mirroring cache.New).
+func NewSDRAM(cfg Config) *SDRAM {
+	for _, g := range []struct {
+		name string
+		n    int
+	}{
+		{"channels", cfg.Channels}, {"ranks", cfg.Ranks}, {"banks", cfg.Banks},
+		{"row bytes", cfg.RowBytes}, {"rows per bank", cfg.RowsPerBank},
+		{"line bytes", cfg.LineBytes},
+	} {
+		if g.n <= 0 || g.n&(g.n-1) != 0 {
+			panic(fmt.Sprintf("dram: %s %d not a power of two", g.name, g.n))
+		}
+	}
+	if cfg.RowBytes < cfg.LineBytes {
+		panic("dram: row smaller than a line")
+	}
+	if cfg.QueueDepth <= 0 {
+		panic("dram: queue depth must be positive")
+	}
+	if cfg.TREFI > 0 && cfg.TRFC >= cfg.TREFI {
+		panic("dram: refresh duration must be shorter than the refresh interval")
+	}
+	s := &SDRAM{
+		cfg:       cfg,
+		lineShift: log2(cfg.LineBytes),
+		colBits:   log2(cfg.RowBytes / cfg.LineBytes),
+		rowBits:   log2(cfg.RowsPerBank),
+		chanBits:  log2(cfg.Channels),
+		bankBits:  log2(cfg.Ranks * cfg.Banks),
+	}
+	s.chans = make([]channel, cfg.Channels)
+	s.Reset()
+	return s
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Name implements Backend.
+func (s *SDRAM) Name() string {
+	return fmt.Sprintf("sdram(%s,%s,%s)", s.cfg.Mapping, s.cfg.Scheduler, s.cfg.Policy)
+}
+
+// Stats implements Backend.
+func (s *SDRAM) Stats() *Stats { return &s.st }
+
+// LineBytes implements Backend.
+func (s *SDRAM) LineBytes() int { return s.cfg.LineBytes }
+
+// Config returns the controller's configuration.
+func (s *SDRAM) Config() Config { return s.cfg }
+
+// Reset implements Backend.
+func (s *SDRAM) Reset() {
+	s.st = Stats{}
+	for c := range s.chans {
+		s.chans[c] = channel{
+			banks:       make([]bank, s.cfg.Ranks*s.cfg.Banks),
+			nextRefresh: s.cfg.TREFI,
+			inflight:    make([]int64, 0, s.cfg.QueueDepth),
+		}
+	}
+}
+
+// decode splits addr into channel, bank and row according to the
+// configured mapping. The returned row index folds in every bit above
+// the fields the mapping consumes, so distinct rows never alias.
+func (s *SDRAM) decode(addr uint64) (ch, bk int, row int64) {
+	a := addr >> s.lineShift
+	take := func(bits uint) uint64 {
+		v := a & ((1 << bits) - 1)
+		a >>= bits
+		return v
+	}
+	switch s.cfg.Mapping {
+	case MapLine:
+		ch = int(take(s.chanBits))
+		bk = int(take(s.bankBits))
+		take(s.colBits)
+		row = int64(a)
+	case MapBank:
+		take(s.colBits)
+		ch = int(take(s.chanBits))
+		bk = int(take(s.bankBits))
+		row = int64(a)
+	case MapRow:
+		take(s.colBits)
+		row = int64(take(s.rowBits))
+		ch = int(take(s.chanBits))
+		bk = int(take(s.bankBits))
+		// Addresses past the part's capacity wrap; fold the remainder
+		// into the row index so distinct rows never alias.
+		row |= int64(a) << s.rowBits
+	}
+	return ch, bk, row
+}
+
+// refreshUpTo performs every refresh epoch the channel owes before
+// cycle t: all banks close their rows and stall for TRFC.
+func (s *SDRAM) refreshUpTo(c *channel, t int64) {
+	if s.cfg.TREFI <= 0 {
+		return
+	}
+	for t >= c.nextRefresh {
+		for b := range c.banks {
+			bk := &c.banks[b]
+			bk.open = false
+			if bk.freeAt < c.nextRefresh {
+				bk.freeAt = c.nextRefresh
+			}
+			bk.freeAt += s.cfg.TRFC
+		}
+		c.nextRefresh += s.cfg.TREFI
+		s.st.Refreshes++
+	}
+}
+
+// Access implements Backend.
+func (s *SDRAM) Access(addr uint64, t0 int64) int64 {
+	ch, bi, row := s.decode(addr)
+	c := &s.chans[ch]
+
+	// Bounded controller queue: drop completed requests, then stall the
+	// arrival until a slot frees.
+	arrival := t0
+	live := c.inflight[:0]
+	for _, done := range c.inflight {
+		if done > arrival {
+			live = append(live, done)
+		}
+	}
+	c.inflight = live
+	occ := len(c.inflight) + 1 // the arriving request occupies a slot
+	if occ > s.cfg.QueueDepth {
+		occ = s.cfg.QueueDepth
+	}
+	s.st.QueueSum += uint64(occ)
+	if occ > s.st.QueueMax {
+		s.st.QueueMax = occ
+	}
+	if len(c.inflight) >= s.cfg.QueueDepth {
+		oldest := 0
+		for i := 1; i < len(c.inflight); i++ {
+			if c.inflight[i] < c.inflight[oldest] {
+				oldest = i
+			}
+		}
+		arrival = c.inflight[oldest]
+		c.inflight = append(c.inflight[:oldest], c.inflight[oldest+1:]...)
+		s.st.StallCycles += uint64(arrival - t0)
+	}
+
+	s.refreshUpTo(c, arrival)
+
+	// Bank-level parallelism: banks already busy at arrival, across the
+	// whole part.
+	for ci := range s.chans {
+		for b := range s.chans[ci].banks {
+			if s.chans[ci].banks[b].freeAt > arrival {
+				s.st.BankBusySum++
+			}
+		}
+	}
+
+	bk := &c.banks[bi]
+	serviceStart := func() int64 {
+		start := max(arrival, bk.freeAt)
+		if s.cfg.Scheduler == FCFS {
+			start = max(start, c.cmdFree)
+		}
+		return start
+	}
+	start := serviceStart()
+	// A busy bank can carry the service past refresh boundaries the
+	// arrival had not reached; those refreshes still close the rows
+	// before the request is served.
+	for s.cfg.TREFI > 0 && start >= c.nextRefresh {
+		s.refreshUpTo(c, start)
+		start = serviceStart()
+	}
+
+	var rowLat int64
+	switch {
+	case bk.open && bk.openRow == row:
+		s.st.RowHits++
+	case !bk.open:
+		s.st.RowMisses++
+		rowLat = s.cfg.TRCD
+	default:
+		s.st.RowConflicts++
+		rowLat = s.cfg.TRP + s.cfg.TRCD
+	}
+
+	colIssue := start + rowLat
+	if s.cfg.Scheduler == FCFS {
+		c.cmdFree = colIssue
+	}
+	dataStart := max(colIssue+s.cfg.TCAS, c.busFree)
+	done := dataStart + s.cfg.TBurst
+	c.busFree = done
+	s.st.BusyCycles += uint64(s.cfg.TBurst)
+
+	bk.freeAt = done
+	if s.cfg.Policy == ClosedPage {
+		bk.freeAt += s.cfg.TRP
+		bk.open = false
+	} else {
+		bk.open = true
+		bk.openRow = row
+	}
+
+	c.inflight = append(c.inflight, done)
+	s.st.observe(t0, done, s.cfg.LineBytes)
+	return done
+}
+
+// Build constructs a backend from flag-level strings: kind is "fixed"
+// or "sdram"; mapping and sched configure the SDRAM variants;
+// fixedLatency is the flat latency of the fixed backend.
+func Build(kind, mapping, sched string, fixedLatency int64) (Backend, error) {
+	// Mapping and scheduler are validated for every kind so a typo is
+	// diagnosed even when the fixed backend would ignore the value
+	// (empty strings mean "unspecified" and stay legal for fixed).
+	kind = strings.ToLower(kind)
+	var m Mapping
+	var sc Scheduler
+	var err error
+	if mapping != "" || kind == "sdram" {
+		if m, err = ParseMapping(mapping); err != nil {
+			return nil, err
+		}
+	}
+	if sched != "" || kind == "sdram" {
+		if sc, err = ParseScheduler(sched); err != nil {
+			return nil, err
+		}
+	}
+	switch kind {
+	case "fixed":
+		return NewFixed(fixedLatency), nil
+	case "sdram":
+		cfg := DefaultConfig()
+		cfg.Mapping, cfg.Scheduler = m, sc
+		return NewSDRAM(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown dram backend %q (fixed, sdram)", kind)
+}
+
+// ValidateFlagCombo rejects explicitly-set command-line knobs that the
+// selected backend kind would silently ignore: -dmap/-dsched only take
+// effect on the sdram backend, -mlat only on the fixed backend. Both
+// simulator binaries share this policy so their CLI contracts agree.
+func ValidateFlagCombo(kind string, dmapOrSchedSet, mlatSet bool) error {
+	kind = strings.ToLower(kind)
+	if dmapOrSchedSet && kind != "sdram" {
+		return fmt.Errorf("-dmap/-dsched require -dram sdram")
+	}
+	if mlatSet && kind == "sdram" {
+		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
+	}
+	return nil
+}
+
+// FormatSpec renders Build arguments as the compact
+// "kind[/mapping/sched]" spec string ParseSpec accepts — the form the
+// experiments runner keys simulations by.
+func FormatSpec(kind, mapping, sched string) string {
+	kind = strings.ToLower(kind)
+	if kind != "sdram" {
+		return kind
+	}
+	return kind + "/" + strings.ToLower(mapping) + "/" + strings.ToLower(sched)
+}
+
+// ParseSpec builds a backend from a "kind[/mapping[/sched]]" spec
+// string; omitted sdram fields default to line/frfcfs.
+func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
+	parts := strings.SplitN(spec, "/", 3)
+	kind, mapping, sched := strings.ToLower(parts[0]), "", ""
+	if len(parts) > 1 {
+		mapping = parts[1]
+	}
+	if len(parts) > 2 {
+		sched = parts[2]
+	}
+	if kind == "sdram" {
+		if mapping == "" {
+			mapping = "line"
+		}
+		if sched == "" {
+			sched = "frfcfs"
+		}
+	}
+	return Build(kind, mapping, sched, fixedLatency)
+}

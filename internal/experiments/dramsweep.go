@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// DRAMMappings lists the SDRAM address-mapping schemes the sweep
+// compares, in presentation order.
+var DRAMMappings = []string{"line", "bank", "row"}
+
+// DRAMSweepRow summarizes one benchmark under the fixed backend and the
+// SDRAM backend in every mapping scheme (FR-FCFS), plus the FCFS
+// scheduler under the default line mapping.
+type DRAMSweepRow struct {
+	Bench       string
+	FixedCycles int64
+
+	Cycles  []int64   // per DRAMMappings entry, FR-FCFS
+	RowHit  []float64 // per DRAMMappings entry
+	BLP     []float64 // per DRAMMappings entry
+	BW      []float64 // per DRAMMappings entry, bytes/cycle
+	FCFSCyc int64     // line mapping, FCFS
+}
+
+// DRAMSweep runs the fixed-vs-SDRAM comparison across the runner's
+// suite on the paper's best configuration (MOM+3D over the vector
+// cache with the 3D register file).
+func DRAMSweep(r *Runner) []DRAMSweepRow {
+	var rows []DRAMSweepRow
+	for _, bench := range r.Benchmarks() {
+		row := DRAMSweepRow{Bench: bench}
+		row.FixedCycles = r.SimDRAM(bench, kernels.MOM3D, mom3DVCKind, baseLat, "").Cycles()
+		for _, m := range DRAMMappings {
+			res := r.SimDRAM(bench, kernels.MOM3D, mom3DVCKind, baseLat, "sdram/"+m+"/frfcfs")
+			row.Cycles = append(row.Cycles, res.Cycles())
+			row.RowHit = append(row.RowHit, res.DRAM.RowHitRate())
+			row.BLP = append(row.BLP, res.DRAM.BankLevelParallelism())
+			row.BW = append(row.BW, res.DRAM.AchievedBandwidth())
+		}
+		row.FCFSCyc = r.SimDRAM(bench, kernels.MOM3D, mom3DVCKind, baseLat, "sdram/line/fcfs").Cycles()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderDRAMSweep formats the sweep as a fixed-width text table.
+func RenderDRAMSweep(rows []DRAMSweepRow) string {
+	var b strings.Builder
+	b.WriteString("DRAM sweep — fixed 100-cycle latency vs banked SDRAM (MOM+3D, vector cache + 3D)\n")
+	fmt.Fprintf(&b, "%-14s %10s", "benchmark", "fixed cyc")
+	for _, m := range DRAMMappings {
+		fmt.Fprintf(&b, " %10s %8s", m+" cyc", "rowhit")
+	}
+	fmt.Fprintf(&b, " %10s\n", "fcfs cyc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d", r.Bench, r.FixedCycles)
+		for i := range DRAMMappings {
+			fmt.Fprintf(&b, " %10d %8.3f", r.Cycles[i], r.RowHit[i])
+		}
+		fmt.Fprintf(&b, " %10d\n", r.FCFSCyc)
+	}
+	b.WriteString("note: sdram columns use FR-FCFS; fcfs column uses the line mapping.\n")
+	b.WriteString("achieved bandwidth (bytes/cycle) and bank-level parallelism per mapping:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s", r.Bench)
+		for i, m := range DRAMMappings {
+			fmt.Fprintf(&b, "  %s %.2f B/c blp %.2f", m, r.BW[i], r.BLP[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func TestDRAMSweepShape(t *testing.T) {
+	r := smallRunner()
+	rows := DRAMSweep(r)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	sawDiff := false
+	bestHit := 0.0
+	for _, row := range rows {
+		if len(row.Cycles) != len(DRAMMappings) || len(row.RowHit) != len(DRAMMappings) {
+			t.Fatalf("%s: per-mapping columns missing", row.Bench)
+		}
+		for i, m := range DRAMMappings {
+			if row.Cycles[i] <= 0 {
+				t.Errorf("%s/%s: cycles %d", row.Bench, m, row.Cycles[i])
+			}
+			if row.RowHit[i] < 0 || row.RowHit[i] > 1 {
+				t.Errorf("%s/%s: row hit rate %f out of range", row.Bench, m, row.RowHit[i])
+			}
+			if row.Cycles[i] != row.FixedCycles {
+				sawDiff = true
+			}
+			if row.RowHit[i] > bestHit {
+				bestHit = row.RowHit[i]
+			}
+		}
+	}
+	if !sawDiff {
+		t.Error("SDRAM and fixed backends produced identical cycles everywhere")
+	}
+	// The streaming kernels must keep rows open under at least one
+	// mapping (the acceptance bar for the banked model).
+	if bestHit < 0.5 {
+		t.Errorf("best row hit rate = %f, want > 0.5", bestHit)
+	}
+	out := RenderDRAMSweep(rows)
+	if !strings.Contains(out, "DRAM sweep") || !strings.Contains(out, "gsmencode") {
+		t.Error("render missing header or benchmark rows")
+	}
+}
+
+func TestFixedSpecMatchesSeedModel(t *testing.T) {
+	// The explicit fixed backend must reproduce the flat-latency seed
+	// model cycle-for-cycle.
+	r := smallRunner()
+	for _, bench := range r.Benchmarks() {
+		seed := r.SimDRAM(bench, kernels.MOM3D, core.MemVectorCache3D, baseLat, "")
+		fixed := r.SimDRAM(bench, kernels.MOM3D, core.MemVectorCache3D, baseLat, "fixed")
+		if seed.Cycles() != fixed.Cycles() {
+			t.Errorf("%s: fixed backend %d cycles vs seed model %d", bench, fixed.Cycles(), seed.Cycles())
+		}
+	}
+}
+
+func TestRunnerDRAMSpecAppliesToSim(t *testing.T) {
+	r := smallRunner()
+	r.DRAMSpec = "sdram/bank/frfcfs"
+	res := r.Sim("gsmencode", kernels.MOM3D, core.MemVectorCache3D, baseLat)
+	if res.Key.DRAM != "sdram/bank/frfcfs" {
+		t.Fatalf("key DRAM spec = %q", res.Key.DRAM)
+	}
+	if res.DRAM.Accesses == 0 {
+		t.Fatal("sdram stats empty: backend was not threaded through")
+	}
+}

@@ -8,17 +8,21 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/kernels"
 	"repro/internal/trace"
 	"repro/internal/vmem"
 )
 
-// SimKey identifies one simulation configuration.
+// SimKey identifies one simulation configuration. DRAM is the
+// main-memory backend spec ("" for the seed's flat latency, "fixed",
+// or "sdram/<mapping>/<scheduler>").
 type SimKey struct {
 	Bench   string
 	Variant kernels.Variant
 	Mem     core.MemKind
 	L2Lat   int64
+	DRAM    string
 }
 
 // SimResult is the outcome of one simulation, with the memory-system
@@ -30,6 +34,7 @@ type SimResult struct {
 	ScalarL2 uint64
 	Activity uint64 // total L2 accesses (Table 4)
 	Trace    *trace.Stats
+	DRAM     dram.Stats // zero-valued under the flat model
 }
 
 // Cycles is shorthand for the simulated execution time.
@@ -49,6 +54,11 @@ type Runner struct {
 
 	// Progress, if non-nil, is called before each new simulation.
 	Progress func(key SimKey)
+
+	// DRAMSpec is the main-memory backend every Sim call uses unless a
+	// caller overrides it with SimDRAM: "" (the seed's flat latency),
+	// "fixed", or "sdram/<mapping>/<scheduler>".
+	DRAMSpec string
 }
 
 type tracePair struct {
@@ -114,18 +124,43 @@ func coreConfigFor(v kernels.Variant) core.Config {
 	return core.MOMCore()
 }
 
-// Sim runs (or recalls) one simulation.
+// Sim runs (or recalls) one simulation over the runner's default DRAM
+// backend.
 func (r *Runner) Sim(bench string, v kernels.Variant, mem core.MemKind, l2lat int64) *SimResult {
-	key := SimKey{Bench: bench, Variant: v, Mem: mem, L2Lat: l2lat}
+	return r.SimDRAM(bench, v, mem, l2lat, r.DRAMSpec)
+}
+
+// flatMemLatency is the seed's main-memory latency beyond L2. The
+// "fixed" spec and the nil-backend Timing must use the same value or
+// `-dram fixed` stops being bit-identical to the seed model.
+const flatMemLatency = 100
+
+// buildBackend constructs a fresh backend from a spec string; each
+// simulation needs its own because backends are stateful.
+func buildBackend(spec string) (dram.Backend, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	return dram.ParseSpec(spec, flatMemLatency)
+}
+
+// SimDRAM runs (or recalls) one simulation over an explicit DRAM
+// backend spec.
+func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2lat int64, spec string) *SimResult {
+	key := SimKey{Bench: bench, Variant: v, Mem: mem, L2Lat: l2lat, DRAM: spec}
 	if res, ok := r.results[key]; ok {
 		return res
 	}
 	if r.Progress != nil {
 		r.Progress(key)
 	}
+	backend, err := buildBackend(spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	tp := r.traceFor(bench, v)
 	cfg := coreConfigFor(v)
-	tim := vmem.Timing{L2Latency: l2lat, MemLatency: 100}
+	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend}
 	// In the MMX configuration the "multi-banked" realistic memory banks
 	// the L1 data cache ports (there is no vector subsystem to bank).
 	bankL1 := v == kernels.MMX && mem != core.MemIdeal
@@ -138,6 +173,9 @@ func (r *Runner) Sim(bench string, v kernels.Variant, mem core.MemKind, l2lat in
 		ScalarL2: ms.ScalarL2Accesses,
 		Activity: ms.L2Activity(),
 		Trace:    tp.st,
+	}
+	if backend != nil {
+		res.DRAM = *backend.Stats()
 	}
 	r.results[key] = res
 	return res

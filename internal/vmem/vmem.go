@@ -13,7 +13,10 @@
 package vmem
 
 import (
+	"sort"
+
 	"repro/internal/cache"
+	"repro/internal/dram"
 	"repro/internal/isa"
 )
 
@@ -21,10 +24,25 @@ import (
 type Timing struct {
 	L2Latency  int64 // L2 access latency (20 in the base system)
 	MemLatency int64 // additional main-memory latency on an L2 miss
+
+	// Backend, when non-nil, models the main memory behind the L2 and
+	// replaces the flat MemLatency: every L2 miss becomes a dram
+	// request whose completion depends on row-buffer and bank state.
+	Backend dram.Backend
 }
 
 // DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
 func DefaultTiming() Timing { return Timing{L2Latency: 20, MemLatency: 100} }
+
+// MissDone returns the completion cycle of the main-memory access for
+// the line containing addr whose L2 miss is detected at cycle t. With
+// no Backend it reproduces the seed's flat model exactly: t+MemLatency.
+func (tm Timing) MissDone(addr uint64, t int64) int64 {
+	if tm.Backend != nil {
+		return tm.Backend.Access(addr, t)
+	}
+	return t + tm.MemLatency
+}
 
 // Stats aggregates a subsystem's activity. "Accesses" counts cache access
 // cycles — the unit of Table 4's L2 activity and the denominator of the
@@ -96,6 +114,15 @@ type MultiBanked struct {
 	banks   []int64
 	st      Stats
 	scratch []isa.ElemAccess
+	misses  []pendingMiss
+}
+
+// pendingMiss is an L2 miss awaiting its main-memory request: bank
+// conflicts skew the per-word access times, so misses are collected and
+// presented to the DRAM backend in arrival order.
+type pendingMiss struct {
+	addr uint64
+	at   int64
 }
 
 // NewMultiBanked builds the multi-banked subsystem over the shared L2.
@@ -117,6 +144,7 @@ func (m *MultiBanked) Stats() *Stats { return &m.st }
 func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
 	m.st.Instructions++
 	m.scratch = in.ElemAddrs(m.scratch[:0])
+	m.misses = m.misses[:0]
 	done := t0
 	for _, el := range m.scratch {
 		m.st.Elements++
@@ -144,13 +172,28 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
 			m.banks[bank] = t + 1
 			m.st.Accesses++
 			m.st.Words++
-			lat := m.tim.L2Latency
+			ct := t + m.tim.L2Latency
 			if !m.access(addr, in.IsStore) {
 				m.st.Misses++
-				lat += m.tim.MemLatency
+				if m.tim.Backend != nil {
+					m.misses = append(m.misses, pendingMiss{addr: addr, at: ct})
+				} else {
+					ct += m.tim.MemLatency
+				}
 			}
-			if ct := t + lat; ct > done {
+			if ct > done {
 				done = ct
+			}
+		}
+	}
+	// Bank conflicts make the per-word times non-monotonic; present the
+	// misses to the DRAM backend in arrival order so its scheduling
+	// stays causal.
+	if len(m.misses) > 0 {
+		sort.SliceStable(m.misses, func(i, j int) bool { return m.misses[i].at < m.misses[j].at })
+		for _, p := range m.misses {
+			if d := m.tim.Backend.Access(p.addr, p.at); d > done {
+				done = d
 			}
 		}
 	}
@@ -176,6 +219,7 @@ type VectorCache struct {
 	portFree int64
 	st       Stats
 	scratch  []isa.ElemAccess
+	missBuf  []uint64
 }
 
 // NewVectorCache builds the vector cache subsystem over the shared L2.
@@ -207,12 +251,16 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 		v.st.Accesses++
 		v.st.Words += uint64(words)
 		v.st.Elements += uint64(elems)
-		lat := v.tim.L2Latency
-		if !v.lookup(addr, uint64(words*8), in.IsStore) {
+		ct := t + v.tim.L2Latency
+		if missed := v.lookup(addr, uint64(words*8), in.IsStore); len(missed) > 0 {
 			v.st.Misses++
-			lat += v.tim.MemLatency
+			for _, a := range missed {
+				if d := v.tim.MissDone(a, t+v.tim.L2Latency); d > ct {
+					ct = d
+				}
+			}
 		}
-		if ct := t + lat; ct > done {
+		if ct > done {
 			done = ct
 		}
 	}
@@ -268,24 +316,26 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 }
 
 // lookup touches every L2 line the access spans (at most two for 2D
-// accesses, two for 128-byte 3D elements) and reports whether all hit.
-func (v *VectorCache) lookup(addr, bytes uint64, store bool) bool {
+// accesses, two for 128-byte 3D elements) and returns the line
+// addresses that missed; each becomes one main-memory request. The
+// returned slice is reused across calls.
+func (v *VectorCache) lookup(addr, bytes uint64, store bool) []uint64 {
 	if bytes == 0 {
 		bytes = 8
 	}
 	first := v.l2.LineAddr(addr)
 	last := v.l2.LineAddr(addr + bytes - 1)
-	hit := true
+	v.missBuf = v.missBuf[:0]
 	for a := first; ; a += uint64(v.l2.Config().LineSize) {
 		coherenceInvalidate(v.l2, v.l1, a, store, &v.st)
 		if !v.l2.Access(a, store, false).Hit {
-			hit = false
+			v.missBuf = append(v.missBuf, a)
 		}
 		if a == last {
 			break
 		}
 	}
-	return hit
+	return v.missBuf
 }
 
 // coherenceInvalidate applies the exclusive-bit policy (§5.3): when a
