@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test fmt-check vet
+.PHONY: verify build test bench fmt-check vet
 
 verify: build test
 
@@ -10,6 +10,12 @@ build:
 
 test:
 	go test ./...
+
+# bench runs every benchmark exactly once as a perf-path smoke test:
+# a panic or regression in the hot simulation loops breaks the build
+# without paying for a full statistical benchmarking run.
+bench:
+	go test -run '^$$' -bench . -benchtime 1x ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

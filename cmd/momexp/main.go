@@ -30,6 +30,10 @@ func main() {
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
+	dprof := flag.String("dprof", "", "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
+	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
+	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
+	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -44,7 +48,7 @@ func main() {
 	dramKnobSet, dramSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwin":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -61,13 +65,15 @@ func main() {
 		os.Exit(2)
 	}
 	if *dramName != "" {
-		// One Build call validates backend kind, mapping and scheduler;
-		// the runner would only panic on a bad spec much later.
-		if _, err := dram.Build(*dramName, *dmap, *dsched, 100); err != nil {
+		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin}
+		// One build call validates backend kind, mapping, scheduler,
+		// profile and knobs; the runner would only panic on a bad spec
+		// much later.
+		if _, err := dram.BuildOpts(*dramName, *dmap, *dsched, *dprof, knobs, 100); err != nil {
 			fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
 			os.Exit(2)
 		}
-		r.DRAMSpec = dram.FormatSpec(*dramName, *dmap, *dsched)
+		r.DRAMSpec = dram.FormatSpecOpts(*dramName, *dmap, *dsched, *dprof, knobs)
 	}
 
 	switch {
@@ -75,6 +81,8 @@ func main() {
 		fmt.Print(experiments.ComputeHeadline(r).Render())
 	case *dramsweep:
 		fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
+		fmt.Println()
+		fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -104,6 +112,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM sweep (it compares its own backend configurations)")
 		} else {
 			fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
+			fmt.Println()
+			fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())

@@ -19,6 +19,10 @@ type options struct {
 	DRAM   string
 	DMap   string
 	DSched string
+	DProf  string
+	DChan  int
+	DWQ    int
+	DWin   int
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
@@ -28,7 +32,7 @@ type options struct {
 func defaultOptions() options {
 	return options{
 		Bench: "mpeg2encode", ISA: "mom3d", Mem: "vcache3d",
-		DRAM: "fixed", DMap: "line", DSched: "frfcfs",
+		DRAM: "fixed", DMap: "line", DSched: "frfcfs", DProf: "ddr",
 		L2Lat: 20, MemLat: 100,
 	}
 }
@@ -59,7 +63,8 @@ func resolve(o options) (runConfig, error) {
 	if err != nil {
 		return rc, err
 	}
-	backend, err := dram.Build(o.DRAM, o.DMap, o.DSched, o.MemLat)
+	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin}
+	backend, err := dram.BuildOpts(o.DRAM, o.DMap, o.DSched, o.DProf, knobs, o.MemLat)
 	if err != nil {
 		return rc, err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/kernels"
 )
 
@@ -42,6 +43,26 @@ func TestResolveSDRAM(t *testing.T) {
 	}
 }
 
+func TestResolveSDRAMKnobs(t *testing.T) {
+	o := defaultOptions()
+	o.DRAM, o.DProf, o.DChan, o.DWQ, o.DWin = "sdram", "hbm", 4, 6, 16
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(sdram knobs): %v", err)
+	}
+	sd, ok := rc.Timing.Backend.(*dram.SDRAM)
+	if !ok {
+		t.Fatalf("backend = %T, want *dram.SDRAM", rc.Timing.Backend)
+	}
+	cfg := sd.Config()
+	if cfg.Channels != 4 || cfg.WQDrain != 6 || cfg.ReorderWindow != 16 {
+		t.Errorf("knobs not applied: %+v", cfg)
+	}
+	if cfg.TRCD != dram.PresetHBM.Config().TRCD {
+		t.Errorf("hbm profile not applied: tRCD = %d", cfg.TRCD)
+	}
+}
+
 func TestResolveRejectsUnknownValues(t *testing.T) {
 	cases := []struct {
 		name string
@@ -56,6 +77,11 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"dsched", func(o *options) { o.DRAM = "sdram"; o.DSched = "rr" }, "scheduler"},
 		{"dmap-fixed", func(o *options) { o.DMap = "xor" }, "mapping"},
 		{"dsched-fixed", func(o *options) { o.DSched = "rr" }, "scheduler"},
+		{"dprof", func(o *options) { o.DRAM = "sdram"; o.DProf = "lpddr" }, "profile"},
+		{"dprof-fixed", func(o *options) { o.DProf = "lpddr" }, "profile"},
+		{"dchan", func(o *options) { o.DRAM = "sdram"; o.DChan = 3 }, "channel"},
+		{"dchan-negative", func(o *options) { o.DRAM = "sdram"; o.DChan = -4 }, "knobs"},
+		{"dwin-negative", func(o *options) { o.DRAM = "sdram"; o.DWin = -1 }, "knobs"},
 	}
 	for _, c := range cases {
 		o := defaultOptions()

@@ -7,7 +7,10 @@
 //
 // ISA variants: mmx, mom, mom3d. Memory systems: ideal, multibanked,
 // vcache, vcache3d. DRAM backends: fixed (flat latency), sdram (banked
-// controller; -dmap picks the address mapping, -dsched the scheduler).
+// controller; -dmap picks the address mapping, -dsched the scheduler,
+// -dprof the timing profile (ddr/hbm), and -dchan/-dwq/-dwin override
+// the channel count, write-queue drain threshold and FR-FCFS reorder
+// window).
 package main
 
 import (
@@ -30,6 +33,10 @@ func main() {
 	dramName := flag.String("dram", def.DRAM, "main-memory backend: fixed, sdram")
 	dmap := flag.String("dmap", def.DMap, "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", def.DSched, "sdram scheduler: fcfs, frfcfs")
+	dprof := flag.String("dprof", def.DProf, "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
+	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
+	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
+	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
@@ -41,7 +48,7 @@ func main() {
 	dramKnobSet, dramSet, mlatSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwin":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -55,7 +62,8 @@ func main() {
 
 	rc, err := resolve(options{
 		Bench: *benchName, ISA: *isaName, Mem: *memName,
-		DRAM: *dramName, DMap: *dmap, DSched: *dsched,
+		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof,
+		DChan: *dchan, DWQ: *dwq, DWin: *dwin,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
 	})
 	if err != nil {
@@ -108,6 +116,10 @@ func main() {
 	}
 	fmt.Printf("L2 activity: %d accesses (%d from scalar misses)\n", ms.L2Activity(), ms.ScalarL2Accesses)
 	fmt.Printf("forwarded loads: %d\n", st.Forwarded)
+	// Drain any posted writes so the report accounts for all traffic.
+	if sd, ok := ms.DRAM().(*dram.SDRAM); ok {
+		sd.Flush()
+	}
 	if ds := ms.DRAM().Stats(); ds.Accesses > 0 {
 		fmt.Printf("dram (%s): %d requests, %.2f bytes/cycle\n",
 			ms.DRAM().Name(), ds.Accesses, ds.AchievedBandwidth())
@@ -117,6 +129,8 @@ func main() {
 				ds.RowHitRate(), ds.RowHits, ds.RowMisses, ds.RowConflicts, ds.Refreshes)
 			fmt.Printf("dram queue: avg %.2f (max %d), %d stall cycles, bank-level parallelism %.2f, bus utilization %.2f\n",
 				ds.AvgQueueOccupancy(), ds.QueueMax, ds.StallCycles, ds.BankLevelParallelism(), ds.BusUtilization())
+			fmt.Printf("dram batches: %d posted writes (%d drains), %d FR-FCFS row-hit promotions\n",
+				ds.Writes, ds.WriteDrains, ds.Reordered)
 		}
 	}
 	if rc.MemKind != core.MemIdeal {

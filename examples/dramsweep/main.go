@@ -1,7 +1,10 @@
 // Dramsweep explores the banked SDRAM backend behind the L2 as a
-// standalone program: for the two most memory-intensive workloads it
+// standalone program. For the two most memory-intensive workloads it
 // crosses every address mapping with both schedulers and both page
-// policies, reporting cycles, row-buffer behaviour and achieved DRAM
+// policies, then sweeps the channel count (the batched transaction API
+// fans an instruction's misses across per-channel controller shards)
+// and compares the commodity-DDR profile against the die-stacked HBM
+// profile, reporting cycles, row-buffer behaviour and achieved DRAM
 // bandwidth against the seed's flat 100-cycle model.
 package main
 
@@ -34,19 +37,37 @@ func main() {
 		fmt.Printf("%s — MOM+3D over the vector cache (fixed 100-cycle DRAM = %d cycles):\n", bm.Name, base)
 		fmt.Printf("%-28s %10s %8s %8s %8s %10s\n",
 			"backend", "cycles", "vs fixed", "rowhit", "blp", "bytes/cyc")
+		report := func(sd *dram.SDRAM, label string) {
+			cycles := run(sd)
+			sd.Flush() // account for posted writes in the stats
+			st := sd.Stats()
+			fmt.Printf("%-28s %10d %7.1f%% %8.3f %8.2f %10.2f\n",
+				label, cycles, 100*(float64(cycles)/float64(base)-1),
+				st.RowHitRate(), st.BankLevelParallelism(), st.AchievedBandwidth())
+		}
 		for _, mapping := range []dram.Mapping{dram.MapLine, dram.MapBank, dram.MapRow} {
 			for _, sched := range []dram.Scheduler{dram.FRFCFS, dram.FCFS} {
 				for _, policy := range []dram.PagePolicy{dram.OpenPage, dram.ClosedPage} {
 					cfg := dram.DefaultConfig()
 					cfg.Mapping, cfg.Scheduler, cfg.Policy = mapping, sched, policy
 					sd := dram.NewSDRAM(cfg)
-					cycles := run(sd)
-					st := sd.Stats()
-					fmt.Printf("%-28s %10d %7.1f%% %8.3f %8.2f %10.2f\n",
-						sd.Name(), cycles, 100*(float64(cycles)/float64(base)-1),
-						st.RowHitRate(), st.BankLevelParallelism(), st.AchievedBandwidth())
+					report(sd, sd.Name())
 				}
 			}
+		}
+
+		fmt.Println()
+		fmt.Println("channel scaling (line/frfcfs, batches fan out per channel):")
+		for _, chans := range []int{1, 2, 4, 8} {
+			cfg := dram.DefaultConfig()
+			cfg.Channels = chans
+			report(dram.NewSDRAM(cfg), fmt.Sprintf("sdram %d-channel", chans))
+		}
+
+		fmt.Println()
+		fmt.Println("timing profiles (line/frfcfs):")
+		for _, p := range []dram.Preset{dram.PresetDDR, dram.PresetHBM} {
+			report(dram.NewSDRAM(p.Config()), "sdram profile "+p.String())
 		}
 		fmt.Println()
 	}

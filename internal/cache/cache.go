@@ -21,6 +21,12 @@ type Config struct {
 	Latency   int64 // access latency in cycles
 }
 
+// L2LineBytes is the L2 line size and therefore the transfer
+// granularity of every main-memory request: the DRAM backends derive
+// their line size from this same constant so the two can never drift
+// apart (core.NewMemSystem still cross-checks them at construction).
+const L2LineBytes = 128
+
 // L1Config returns the paper's L1 data cache configuration.
 func L1Config() Config {
 	return Config{Name: "L1", Size: 64 << 10, LineSize: 32, Ways: 2, WriteBack: false, Latency: 1}
@@ -29,7 +35,7 @@ func L1Config() Config {
 // L2Config returns the paper's L2 cache configuration with the given
 // latency (20 cycles in the base system; 40 and 60 in the §6.2 study).
 func L2Config(latency int64) Config {
-	return Config{Name: "L2", Size: 2 << 20, LineSize: 128, Ways: 4, WriteBack: true, Latency: latency}
+	return Config{Name: "L2", Size: 2 << 20, LineSize: L2LineBytes, Ways: 4, WriteBack: true, Latency: latency}
 }
 
 // Stats counts cache events.
@@ -109,8 +115,9 @@ func (c *Cache) find(addr uint64) (set []line, way int) {
 
 // Result reports what one cache access did.
 type Result struct {
-	Hit       bool
-	Writeback bool // a dirty victim was evicted
+	Hit        bool
+	Writeback  bool   // a dirty victim was evicted
+	VictimAddr uint64 // line address of the dirty victim when Writeback
 }
 
 // Access looks up the line containing addr, allocating it on a miss
@@ -153,6 +160,7 @@ func (c *Cache) Access(addr uint64, write, fromL1 bool) Result {
 		if set[victim].dirty {
 			c.Stats.Writebacks++
 			res.Writeback = true
+			res.VictimAddr = set[victim].tag << c.lineShift
 		}
 	}
 	set[victim] = line{tag: addr >> c.lineShift, valid: true, dirty: write && c.cfg.WriteBack,

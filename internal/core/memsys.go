@@ -58,6 +58,8 @@ type MemSystem struct {
 	ScalarL2Accesses uint64
 
 	l1Banks []int64 // MMX multi-banked configuration: L1 bank free cycles
+
+	scalarBatch []dram.Request // reused one-miss batch for the scalar path
 }
 
 // NewMemSystem builds a memory system. lanes is the processor's lane
@@ -114,8 +116,17 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) int64 {
 	}
 	m.ScalarL2Accesses++
 	done := t + m.L1.Config().Latency + m.Tim.L2Latency
-	if !m.L2.Access(in.Addr, false, true).Hit {
-		done = m.Tim.MissDone(in.Addr, done)
+	res := m.L2.Access(in.Addr, false, true)
+	if !res.Hit {
+		// A scalar miss is a one-request batch; a dirty victim evicted
+		// by the fill rides along as a posted write-back that never
+		// gates the load.
+		m.scalarBatch = m.scalarBatch[:0]
+		m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: in.Addr, At: done})
+		if res.Writeback && m.Tim.Backend != nil {
+			m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: res.VictimAddr, Write: true, At: done})
+		}
+		done = m.Tim.SubmitMisses(m.scalarBatch, done)
 	}
 	return done
 }

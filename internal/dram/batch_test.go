@@ -1,0 +1,309 @@
+package dram
+
+import "testing"
+
+// TestSubmitSingleMatchesOneAtATime: under FCFS, a multi-request batch
+// with ordered arrivals must complete exactly like the same requests
+// submitted one at a time — the batch API only widens what the
+// scheduler can see, it never changes arrival-order service.
+func TestSubmitSingleMatchesOneAtATime(t *testing.T) {
+	mk := func() *SDRAM {
+		cfg := testConfig()
+		cfg.Banks = 4
+		cfg.Scheduler = FCFS
+		return NewSDRAM(cfg)
+	}
+	// A deterministic pseudo-random stream (LCG) of lines and times.
+	var reqs []Request
+	seed := uint64(12345)
+	at := int64(0)
+	for i := 0; i < 64; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		reqs = append(reqs, Request{Addr: (seed >> 33) % (1 << 20) * 128, At: at})
+		at += int64(seed % 7)
+	}
+
+	one, batched := mk(), mk()
+	var oneDones []int64
+	for _, r := range reqs {
+		oneDones = append(oneDones, one.Access(r.Addr, r.At))
+	}
+	comps := batched.Submit(reqs)
+	for i := range reqs {
+		if comps[i].Done != oneDones[i] {
+			t.Fatalf("req %d: batched done %d != one-at-a-time done %d",
+				i, comps[i].Done, oneDones[i])
+		}
+	}
+	if a, b := one.Stats().RowHits, batched.Stats().RowHits; a != b {
+		t.Fatalf("row hits diverged: %d vs %d", a, b)
+	}
+}
+
+// TestFRFCFSPromotesRowHitInBatch is the acceptance criterion: a batch
+// containing a row hit queued behind a row conflict completes the hit
+// first under FR-FCFS with a reorder window.
+func TestFRFCFSPromotesRowHitInBatch(t *testing.T) {
+	cfg := testConfig() // 1 channel, 1 bank, open page
+	cfg.ReorderWindow = 8
+	s := NewSDRAM(cfg)
+	s.Access(0, 0) // opens row 0, done 19
+
+	comps := s.Submit([]Request{
+		{Addr: 1024, At: 30}, // row 1: conflict, arrived first
+		{Addr: 128, At: 30},  // row 0, next column: hit
+	})
+	hit, conflict := comps[1], comps[0]
+	if hit.Done >= conflict.Done {
+		t.Fatalf("row hit done %d not before conflict done %d", hit.Done, conflict.Done)
+	}
+	// Hit promoted: starts at 30 on the open row (CAS 5 + burst 4).
+	if hit.Done != 39 {
+		t.Errorf("promoted hit done = %d, want 39", hit.Done)
+	}
+	// The conflict then waits for the bank (39), pays tRP+tRCD+tCAS+burst.
+	if conflict.Done != 39+7+10+5+4 {
+		t.Errorf("conflict done = %d, want %d", conflict.Done, 39+7+10+5+4)
+	}
+	if s.Stats().Reordered != 1 {
+		t.Errorf("reordered = %d, want 1", s.Stats().Reordered)
+	}
+
+	// The same batch under FCFS services the conflict first and turns
+	// the would-be hit into a second conflict: strictly slower.
+	cfg.Scheduler = FCFS
+	f := NewSDRAM(cfg)
+	f.Access(0, 0)
+	fc := f.Submit([]Request{{Addr: 1024, At: 30}, {Addr: 128, At: 30}})
+	if fc[1].Done <= hit.Done {
+		t.Errorf("FCFS done %d not slower than FR-FCFS promoted hit %d", fc[1].Done, hit.Done)
+	}
+	if f.Stats().Reordered != 0 {
+		t.Errorf("FCFS reordered = %d, want 0", f.Stats().Reordered)
+	}
+}
+
+// TestCompletionsCausal: every completion is strictly after its
+// arrival, for reads and posted writes alike, across random batches.
+func TestCompletionsCausal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 100 // hot refresh to exercise the refresh path too
+	cfg.TRFC = 20
+	s := NewSDRAM(cfg)
+	seed := uint64(99)
+	at := int64(0)
+	for b := 0; b < 50; b++ {
+		var batch []Request
+		n := 1 + int(seed%13)
+		for i := 0; i < n; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			batch = append(batch, Request{
+				Addr:  (seed >> 33) % (1 << 22) * 128,
+				Write: seed%4 == 0,
+				At:    at + int64(seed%50),
+			})
+		}
+		for _, c := range s.Submit(batch) {
+			if c.Done <= c.At {
+				t.Fatalf("completion not causal: done %d <= at %d (write=%v)", c.Done, c.At, c.Write)
+			}
+			if c.Done > at {
+				at = c.Done
+			}
+		}
+	}
+}
+
+// TestBusOccupancyNeverOverlaps: per channel, the data-bus burst
+// intervals of read completions must be disjoint — one burst at a time.
+func TestBusOccupancyNeverOverlaps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	s := NewSDRAM(cfg)
+	bursts := make(map[int][][2]int64)
+	seed := uint64(7)
+	at := int64(0)
+	for b := 0; b < 40; b++ {
+		var batch []Request
+		for i := 0; i < 8; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			batch = append(batch, Request{Addr: (seed >> 33) % (1 << 22) * 128, At: at})
+		}
+		for _, c := range s.Submit(batch) {
+			bursts[c.Channel] = append(bursts[c.Channel], [2]int64{c.Done - cfg.TBurst, c.Done})
+			if c.Done > at {
+				at = c.Done
+			}
+		}
+	}
+	for ch, iv := range bursts {
+		for i := range iv {
+			for j := i + 1; j < len(iv); j++ {
+				a, b := iv[i], iv[j]
+				if a[0] < b[1] && b[0] < a[1] {
+					t.Fatalf("channel %d: burst [%d,%d) overlaps [%d,%d)", ch, a[0], a[1], b[0], b[1])
+				}
+			}
+		}
+	}
+	if len(bursts) < 2 {
+		t.Fatalf("stream only reached %d channels; want fan-out", len(bursts))
+	}
+}
+
+// TestWriteQueuePostsAndDrains: writes are absorbed instantly (posted
+// ack at At+1), stay off the bus below the drain threshold, and a
+// threshold crossing flushes the whole queue through the banks.
+func TestWriteQueuePostsAndDrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.WQDepth, cfg.WQDrain = 8, 4
+	s := NewSDRAM(cfg)
+
+	comps := s.Submit([]Request{
+		{Addr: 0, Write: true, At: 0},
+		{Addr: 1024, Write: true, At: 1},
+		{Addr: 2048, Write: true, At: 2},
+	})
+	for i, c := range comps {
+		if c.Done != c.At+1 {
+			t.Fatalf("write %d: ack %d, want %d", i, c.Done, c.At+1)
+		}
+	}
+	st := s.Stats()
+	if st.WriteDrains != 0 || st.BusyCycles != 0 {
+		t.Fatalf("below threshold: drains %d busy %d, want 0/0", st.WriteDrains, st.BusyCycles)
+	}
+	// The fourth write crosses the threshold: all four burst.
+	s.Submit([]Request{{Addr: 3072, Write: true, At: 3}})
+	if st.WriteDrains != 1 {
+		t.Fatalf("drains = %d, want 1", st.WriteDrains)
+	}
+	if want := uint64(4 * 4); st.BusyCycles != want { // 4 writes × TBurst 4
+		t.Fatalf("busy cycles = %d, want %d", st.BusyCycles, want)
+	}
+	if st.Writes != 4 || st.Reads() != 0 {
+		t.Fatalf("writes %d reads %d, want 4/0", st.Writes, st.Reads())
+	}
+}
+
+// TestReadPriorityOverWrites: a posted write in the same batch never
+// delays a read — reads schedule first, writes only show up as later
+// bank/bus occupancy.
+func TestReadPriorityOverWrites(t *testing.T) {
+	readOnly := NewSDRAM(testConfig())
+	alone := readOnly.Submit([]Request{{Addr: 0, At: 0}})[0].Done
+
+	mixed := NewSDRAM(testConfig())
+	comps := mixed.Submit([]Request{
+		{Addr: 4096, Write: true, At: 0}, // same bank, different row
+		{Addr: 0, At: 0},
+	})
+	if comps[1].Done != alone {
+		t.Fatalf("read with write in batch done %d, want %d (unaffected)", comps[1].Done, alone)
+	}
+}
+
+// TestFlushDrainsPostedWrites: Flush empties the queues so end-of-run
+// statistics include all posted traffic.
+func TestFlushDrainsPostedWrites(t *testing.T) {
+	s := NewSDRAM(testConfig())
+	s.Submit([]Request{{Addr: 0, Write: true, At: 0}})
+	if s.Stats().WriteDrains != 0 {
+		t.Fatal("premature drain")
+	}
+	s.Flush()
+	if s.Stats().WriteDrains != 1 || s.Stats().BusyCycles == 0 {
+		t.Fatalf("flush did not drain: %+v", s.Stats())
+	}
+}
+
+// TestChannelScalingBandwidth: the same streaming batch load achieves
+// higher bandwidth on more channels — the sharding the batch API
+// unlocks.
+func TestChannelScalingBandwidth(t *testing.T) {
+	run := func(channels int) float64 {
+		cfg := testConfig()
+		cfg.Channels, cfg.Banks = channels, 4
+		cfg.ReorderWindow = 8
+		s := NewSDRAM(cfg)
+		at := int64(0)
+		for b := 0; b < 32; b++ {
+			var batch []Request
+			for i := 0; i < 16; i++ {
+				batch = append(batch, Request{Addr: uint64((b*16 + i) * 128), At: at})
+			}
+			for _, c := range s.Submit(batch) {
+				if c.Done > at {
+					at = c.Done
+				}
+			}
+		}
+		return s.Stats().AchievedBandwidth()
+	}
+	bw1, bw4 := run(1), run(4)
+	if bw4 <= bw1*1.5 {
+		t.Fatalf("4-channel bandwidth %.2f not scaling over 1-channel %.2f", bw4, bw1)
+	}
+}
+
+// TestFixedSubmitBatch: the flat backend treats batch requests
+// independently — bit-identical to the seed's one-at-a-time model.
+func TestFixedSubmitBatch(t *testing.T) {
+	f := NewFixed(100)
+	comps := f.Submit([]Request{
+		{Addr: 0, At: 10},
+		{Addr: 128, Write: true, At: 20},
+	})
+	if comps[0].Done != 110 || comps[1].Done != 120 {
+		t.Fatalf("fixed batch dones = %d/%d, want 110/120", comps[0].Done, comps[1].Done)
+	}
+	if f.Stats().Writes != 1 || f.Stats().Accesses != 2 {
+		t.Fatalf("fixed stats = %+v", f.Stats())
+	}
+}
+
+// TestPresetsAndSpecKnobs covers the profile and knob grammar.
+func TestPresetsAndSpecKnobs(t *testing.T) {
+	if PresetHBM.Config().Channels != 8 {
+		t.Fatalf("hbm channels = %d, want 8", PresetHBM.Config().Channels)
+	}
+	if p, err := ParsePreset("stacked"); err != nil || p != PresetHBM {
+		t.Fatalf("ParsePreset(stacked) = %v, %v", p, err)
+	}
+	NewSDRAM(PresetHBM.Config()) // must not panic
+
+	b, err := ParseSpec("sdram/bank/fcfs/hbm/4ch/wq4/win2", 100)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	cfg := b.(*SDRAM).Config()
+	if cfg.Mapping != MapBank || cfg.Scheduler != FCFS || cfg.Channels != 4 ||
+		cfg.WQDrain != 4 || cfg.ReorderWindow != 2 || cfg.TRCD != PresetHBM.Config().TRCD {
+		t.Fatalf("spec config = %+v", cfg)
+	}
+
+	if got := FormatSpecOpts("sdram", "line", "frfcfs", "hbm", Knobs{Channels: 4}); got != "sdram/line/frfcfs/hbm/4ch" {
+		t.Fatalf("FormatSpecOpts = %q", got)
+	}
+	// Round trip through ParseSpec.
+	if _, err := ParseSpec(FormatSpecOpts("sdram", "line", "frfcfs", "hbm", Knobs{Channels: 4, WQDrain: 3, Window: 5}), 100); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	// A drain threshold beyond the preset's depth grows the queue to fit.
+	if b, err := ParseSpec("sdram/line/frfcfs/ddr/wq99", 100); err != nil {
+		t.Fatalf("ParseSpec(wq99): %v", err)
+	} else if cfg := b.(*SDRAM).Config(); cfg.WQDrain != 99 || cfg.WQDepth != 99 {
+		t.Fatalf("wq99 config = drain %d depth %d, want 99/99", cfg.WQDrain, cfg.WQDepth)
+	}
+
+	for _, bad := range []string{
+		"sdram/line/frfcfs/ddr/3ch",   // channels not a power of two
+		"sdram/line/frfcfs/ddr/extra", // trailing junk
+		"sdram/line/frfcfs/lpddr",     // unknown profile
+	} {
+		if _, err := ParseSpec(bad, 100); err == nil {
+			t.Errorf("ParseSpec(%q) did not error", bad)
+		}
+	}
+}

@@ -4,30 +4,67 @@
 // SDRAM part: per-bank row-buffer state, open/closed page policies,
 // row-hit vs row-miss vs row-conflict timing composed from tRCD/tCAS/tRP
 // style parameters, a configurable physical address mapping, a bounded
-// controller queue with FCFS and FR-FCFS scheduling, and periodic
-// refresh.
+// per-channel controller queue with FCFS and FR-FCFS scheduling, a
+// posted write queue with drain thresholds, and periodic refresh.
 //
-// Requests are presented one at a time by the cache hierarchy, in issue
-// order, so the controller model is causal: scheduling never looks at
-// requests that have not arrived yet. FR-FCFS is modelled to first
-// order as the ability to issue row-management commands (precharge,
-// activate) to a bank as soon as that bank is free, overlapping them
-// with other banks' data transfers; FCFS serializes command issue
-// behind the previous request on the channel. The data bus of a channel
-// transfers one burst at a time under either scheduler.
+// Requests reach the controller as transaction batches: a vector memory
+// instruction collects all of its L2 line misses (and any dirty-victim
+// write-backs) and presents them to Submit together, so the controller
+// sees the instruction-level memory parallelism the paper argues media
+// kernels expose. Within the visible window (the batch plus anything
+// already queued) FR-FCFS genuinely reorders, promoting row hits ahead
+// of older row conflicts; batches fan out across channels, each with
+// its own queue, scheduler state, write queue and refresh engine, so
+// bandwidth scales with channel count. Scheduling remains causal: a
+// request is never serviced before its arrival cycle, and requests in
+// later batches are never visible to earlier ones.
 package dram
 
-// Backend is one main-memory model. Access schedules the line fill (or
-// write-back) containing addr, arriving at the controller at cycle t0,
-// and returns the cycle at which the data transfer completes. Backends
-// are stateful: bank and queue state persists across calls so
-// back-to-back misses contend realistically.
+import "repro/internal/cache"
+
+// lineBytes is the transfer granularity of every backend, tied to the
+// L2 line size so the NewMemSystem cross-check can never trip from a
+// config drift between the two packages.
+const lineBytes = cache.L2LineBytes
+
+// Request is one main-memory transaction: the line fill (Write false)
+// or write-back (Write true) of the L2 line containing Addr, arriving
+// at the controller at cycle At.
+type Request struct {
+	Addr  uint64
+	Write bool
+	At    int64
+}
+
+// Completion reports the outcome of one Request. Done is the cycle the
+// data transfer completes for reads, and the cycle the write is
+// accepted into the controller's write queue for writes (posted
+// writes: the physical drain happens later and only shows up as bank
+// and bus occupancy). Done is always > At. Channel is the channel the
+// request decoded to.
+type Completion struct {
+	Addr    uint64
+	Write   bool
+	At      int64
+	Done    int64
+	Channel int
+}
+
+// Backend is one main-memory model. Submit schedules a whole batch of
+// requests — typically every line miss of one vector instruction — and
+// returns their completions in batch order. Backends are stateful:
+// bank, queue and write-queue state persists across calls so
+// back-to-back batches contend realistically.
+//
+// The returned slice is owned by the backend and only valid until the
+// next Submit or Reset call; callers that retain completions must copy
+// them.
 type Backend interface {
 	// Name identifies the backend in reports.
 	Name() string
-	// Access services one memory request and returns its completion
-	// cycle (always > t0).
-	Access(addr uint64, t0 int64) int64
+	// Submit services one batch of requests and returns one completion
+	// per request, in batch order.
+	Submit(batch []Request) []Completion
 	// Stats exposes the accumulated counters.
 	Stats() *Stats
 	// LineBytes is the transfer granularity of one request; callers
@@ -37,9 +74,17 @@ type Backend interface {
 	Reset()
 }
 
+// Access is the one-at-a-time compatibility path over the batch API: it
+// submits a single read and returns its completion cycle. The scalar
+// miss path and the seed's flat model go through here.
+func Access(b Backend, addr uint64, t0 int64) int64 {
+	return b.Submit([]Request{{Addr: addr, At: t0}})[0].Done
+}
+
 // Stats aggregates a backend's activity.
 type Stats struct {
 	Accesses     uint64
+	Writes       uint64 // posted writes absorbed by the write queues
 	RowHits      uint64 // open-page hit: column access only
 	RowMisses    uint64 // bank idle: activate + column access
 	RowConflicts uint64 // wrong row open: precharge + activate + column
@@ -48,13 +93,19 @@ type Stats struct {
 	BusyCycles   uint64 // data-bus busy cycles summed over channels
 	Bytes        uint64 // bytes transferred
 
+	// Reordered counts FR-FCFS promotions: a row hit in the visible
+	// window serviced ahead of an older request. WriteDrains counts
+	// write-queue drain events (each drains the whole queue).
+	Reordered   uint64
+	WriteDrains uint64
+
 	// QueueSum accumulates the controller-queue occupancy sampled at
-	// each request arrival (counting the arriving request); QueueMax
+	// each read arrival (counting the arriving request); QueueMax
 	// is the high-water mark.
 	QueueSum uint64
 	QueueMax int
 
-	// BankBusySum accumulates, per request, the number of banks already
+	// BankBusySum accumulates, per read, the number of banks already
 	// busy when the request arrives — the bank-level parallelism the
 	// access stream achieves.
 	BankBusySum uint64
@@ -64,6 +115,9 @@ type Stats struct {
 	FirstArrival int64
 	LastDone     int64
 }
+
+// Reads is the number of read (line-fill) requests serviced.
+func (s *Stats) Reads() uint64 { return s.Accesses - s.Writes }
 
 // RowHitRate is row hits per access (0 for an untouched backend, and
 // for backends that do not model rows).
@@ -75,21 +129,21 @@ func (s *Stats) RowHitRate() float64 {
 }
 
 // AvgQueueOccupancy is the mean controller-queue occupancy observed at
-// request arrival.
+// read arrival.
 func (s *Stats) AvgQueueOccupancy() float64 {
-	if s.Accesses == 0 {
+	if s.Reads() == 0 {
 		return 0
 	}
-	return float64(s.QueueSum) / float64(s.Accesses)
+	return float64(s.QueueSum) / float64(s.Reads())
 }
 
 // BankLevelParallelism is the mean number of banks already busy when a
-// request arrives.
+// read arrives.
 func (s *Stats) BankLevelParallelism() float64 {
-	if s.Accesses == 0 {
+	if s.Reads() == 0 {
 		return 0
 	}
-	return float64(s.BankBusySum) / float64(s.Accesses)
+	return float64(s.BankBusySum) / float64(s.Reads())
 }
 
 // AchievedBandwidth is bytes transferred per cycle over the window from
@@ -124,16 +178,19 @@ func (s *Stats) observe(t0, done int64, lineBytes int) {
 
 // Fixed is the seed's flat-latency memory: every request completes a
 // constant number of cycles after it arrives, with unbounded bandwidth.
+// Requests in a batch are independent, so Submit is bit-identical to
+// the seed's one-at-a-time model.
 type Fixed struct {
 	Latency   int64
 	lineBytes int
 	st        Stats
+	comps     []Completion
 }
 
 // NewFixed returns a flat-latency backend (the seed's 100-cycle DRAM
-// when latency is 100).
+// when latency is 100). Its line size is the shared L2 line constant.
 func NewFixed(latency int64) *Fixed {
-	return &Fixed{Latency: latency, lineBytes: 128}
+	return &Fixed{Latency: latency, lineBytes: lineBytes}
 }
 
 // Name implements Backend.
@@ -148,9 +205,19 @@ func (f *Fixed) LineBytes() int { return f.lineBytes }
 // Reset implements Backend.
 func (f *Fixed) Reset() { f.st = Stats{} }
 
-// Access implements Backend: completion is always t0 + Latency.
-func (f *Fixed) Access(addr uint64, t0 int64) int64 {
-	done := t0 + f.Latency
-	f.st.observe(t0, done, f.lineBytes)
-	return done
+// Submit implements Backend: every completion is At + Latency.
+func (f *Fixed) Submit(batch []Request) []Completion {
+	f.comps = f.comps[:0]
+	for _, r := range batch {
+		done := r.At + f.Latency
+		if r.Write {
+			f.st.Writes++
+		}
+		f.st.observe(r.At, done, f.lineBytes)
+		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done})
+	}
+	return f.comps
 }
+
+// Access submits a single read (the seed's scalar path).
+func (f *Fixed) Access(addr uint64, t0 int64) int64 { return Access(f, addr, t0) }

@@ -2,7 +2,10 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"repro/internal/cache"
 )
 
 // Mapping selects how a physical address is decomposed into channel,
@@ -55,10 +58,14 @@ type Scheduler int
 
 const (
 	// FCFS issues commands strictly in arrival order: a request's row
-	// management waits for the previous request on its channel.
+	// management waits for the previous request on its channel, and the
+	// visible batch is never reordered.
 	FCFS Scheduler = iota
 	// FRFCFS lets row management start as soon as the target bank is
-	// free, overlapping precharge/activate with other banks' bursts.
+	// free, overlapping precharge/activate with other banks' bursts,
+	// and reorders the visible window: a row hit within the first
+	// ReorderWindow pending requests of a channel is serviced ahead of
+	// older conflicts.
 	FRFCFS
 )
 
@@ -105,9 +112,11 @@ func (p PagePolicy) String() string {
 }
 
 // Config describes one SDRAM part and its controller. All counts must
-// be powers of two and all latencies are in CPU cycles.
+// be powers of two (the controller knobs — queue depths and the reorder
+// window — may be any positive value) and all latencies are in CPU
+// cycles.
 type Config struct {
-	Channels    int // independent channels, each with its own data bus
+	Channels    int // independent channels, each with its own controller shard
 	Ranks       int // ranks per channel
 	Banks       int // banks per rank
 	RowBytes    int // row-buffer size per bank
@@ -118,27 +127,32 @@ type Config struct {
 	TCAS   int64 // column command → first data
 	TRP    int64 // precharge
 	TBurst int64 // data-bus cycles per line transfer
+	TTurn  int64 // bus turnaround penalty when switching read↔write
 	TREFI  int64 // refresh interval per channel (0 disables refresh)
 	TRFC   int64 // refresh duration (all banks of the channel stall)
 
-	QueueDepth int // in-flight requests per channel before back-pressure
+	QueueDepth    int // in-flight reads per channel before back-pressure
+	ReorderWindow int // FR-FCFS visible window (1 = arrival order only)
+	WQDepth       int // write-queue sizing; drain-at-threshold keeps occupancy below it
+	WQDrain       int // occupancy that triggers a full write drain (≤ WQDepth)
 
 	Mapping   Mapping
 	Scheduler Scheduler
 	Policy    PagePolicy
 }
 
-// DefaultConfig is a two-channel, two-rank, four-bank part whose
-// row-miss service time is comparable to the seed's flat 100-cycle
-// DRAM, so row hits run faster than the seed and row conflicts slower.
+// DefaultConfig is the commodity-DDR preset: a two-channel, two-rank,
+// four-bank part whose row-miss service time is comparable to the
+// seed's flat 100-cycle DRAM, so row hits run faster than the seed and
+// row conflicts slower.
 func DefaultConfig() Config {
 	return Config{
 		Channels: 2, Ranks: 2, Banks: 4,
-		RowBytes: 8 << 10, RowsPerBank: 1 << 15, LineBytes: 128,
-		TRCD: 30, TCAS: 40, TRP: 30, TBurst: 8,
+		RowBytes: 8 << 10, RowsPerBank: 1 << 15, LineBytes: cache.L2LineBytes,
+		TRCD: 30, TCAS: 40, TRP: 30, TBurst: 8, TTurn: 4,
 		TREFI: 7800, TRFC: 120,
-		QueueDepth: 16,
-		Mapping:    MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+		QueueDepth: 16, ReorderWindow: 8, WQDepth: 16, WQDrain: 12,
+		Mapping: MapLine, Scheduler: FRFCFS, Policy: OpenPage,
 	}
 }
 
@@ -148,12 +162,25 @@ type bank struct {
 	open    bool
 }
 
+// channel is one controller shard: banks, data bus, command
+// serialization point, refresh engine, bounded read queue and posted
+// write queue, all independent of every other channel so batches fan
+// out and bandwidth scales with channel count.
 type channel struct {
 	banks       []bank
-	busFree     int64   // data bus: one burst at a time
-	cmdFree     int64   // FCFS: command issue serialization point
-	nextRefresh int64   // next refresh epoch boundary
-	inflight    []int64 // completion times of queued requests
+	busFree     int64     // data bus: one burst at a time
+	busWrite    bool      // last burst was a write (turnaround tracking)
+	cmdFree     int64     // FCFS: command issue serialization point
+	nextRefresh int64     // next refresh epoch boundary
+	inflight    []int64   // completion times of queued reads
+	writeQ      []Request // posted writes awaiting a threshold drain
+}
+
+// decoded caches the address decomposition of one batch request.
+type decoded struct {
+	ch  int
+	bk  int
+	row int64
 }
 
 // SDRAM is the banked controller model.
@@ -163,6 +190,12 @@ type SDRAM struct {
 	st    Stats
 
 	lineShift, colBits, rowBits, chanBits, bankBits uint
+
+	// Per-Submit scratch, reused across calls.
+	comps   []Completion
+	dec     []decoded
+	perChan [][]int // pending read batch indices per channel
+	wOrder  []int   // write batch indices
 }
 
 // NewSDRAM builds a controller from its configuration, panicking on an
@@ -186,6 +219,23 @@ func NewSDRAM(cfg Config) *SDRAM {
 	if cfg.QueueDepth <= 0 {
 		panic("dram: queue depth must be positive")
 	}
+	// Zero-valued controller knobs take defaults so configurations
+	// written before a knob existed keep their old behaviour.
+	if cfg.ReorderWindow == 0 {
+		cfg.ReorderWindow = 1 // arrival order only
+	}
+	if cfg.WQDepth == 0 {
+		cfg.WQDepth = cfg.QueueDepth
+	}
+	if cfg.WQDrain == 0 {
+		cfg.WQDrain = (cfg.WQDepth*3 + 3) / 4
+	}
+	if cfg.ReorderWindow < 0 {
+		panic("dram: reorder window must be positive")
+	}
+	if cfg.WQDepth < 0 || cfg.WQDrain < 0 || cfg.WQDrain > cfg.WQDepth {
+		panic("dram: write queue needs 0 < drain threshold <= depth")
+	}
 	if cfg.TREFI > 0 && cfg.TRFC >= cfg.TREFI {
 		panic("dram: refresh duration must be shorter than the refresh interval")
 	}
@@ -198,6 +248,7 @@ func NewSDRAM(cfg Config) *SDRAM {
 		bankBits:  log2(cfg.Ranks * cfg.Banks),
 	}
 	s.chans = make([]channel, cfg.Channels)
+	s.perChan = make([][]int, cfg.Channels)
 	s.Reset()
 	return s
 }
@@ -232,6 +283,7 @@ func (s *SDRAM) Reset() {
 			banks:       make([]bank, s.cfg.Ranks*s.cfg.Banks),
 			nextRefresh: s.cfg.TREFI,
 			inflight:    make([]int64, 0, s.cfg.QueueDepth),
+			writeQ:      make([]Request, 0, s.cfg.WQDepth),
 		}
 	}
 }
@@ -289,13 +341,82 @@ func (s *SDRAM) refreshUpTo(c *channel, t int64) {
 	}
 }
 
-// Access implements Backend.
-func (s *SDRAM) Access(addr uint64, t0 int64) int64 {
-	ch, bi, row := s.decode(addr)
-	c := &s.chans[ch]
+// rowLatency categorizes the access against the bank's row buffer,
+// counts it, and returns the row-management latency it pays.
+func (s *SDRAM) rowLatency(bk *bank, row int64) int64 {
+	switch {
+	case bk.open && bk.openRow == row:
+		s.st.RowHits++
+		return 0
+	case !bk.open:
+		s.st.RowMisses++
+		return s.cfg.TRCD
+	default:
+		s.st.RowConflicts++
+		return s.cfg.TRP + s.cfg.TRCD
+	}
+}
 
-	// Bounded controller queue: drop completed requests, then stall the
-	// arrival until a slot frees.
+// burst schedules one data transfer on the channel bus starting no
+// earlier than ready, paying the turnaround penalty when the bus
+// switches direction, and returns the completion cycle.
+func (s *SDRAM) burst(c *channel, ready int64, write bool) int64 {
+	busReady := c.busFree
+	if c.busWrite != write {
+		busReady += s.cfg.TTurn
+	}
+	dataStart := max(ready, busReady)
+	done := dataStart + s.cfg.TBurst
+	c.busFree = done
+	c.busWrite = write
+	s.st.BusyCycles += uint64(s.cfg.TBurst)
+	return done
+}
+
+// service runs one request through the bank and bus of its channel:
+// refresh catch-up, row management, column access and data burst,
+// leaving the row buffer per the page policy. arrival must already
+// include any queue back-pressure.
+func (s *SDRAM) service(c *channel, bi int, row, arrival int64, write bool) int64 {
+	s.refreshUpTo(c, arrival)
+	bk := &c.banks[bi]
+	serviceStart := func() int64 {
+		start := max(arrival, bk.freeAt)
+		if s.cfg.Scheduler == FCFS {
+			start = max(start, c.cmdFree)
+		}
+		return start
+	}
+	start := serviceStart()
+	// A busy bank can carry the service past refresh boundaries the
+	// arrival had not reached; those refreshes still close the rows
+	// before the request is served.
+	for s.cfg.TREFI > 0 && start >= c.nextRefresh {
+		s.refreshUpTo(c, start)
+		start = serviceStart()
+	}
+
+	colIssue := start + s.rowLatency(bk, row)
+	if s.cfg.Scheduler == FCFS {
+		c.cmdFree = colIssue
+	}
+	done := s.burst(c, colIssue+s.cfg.TCAS, write)
+
+	bk.freeAt = done
+	if s.cfg.Policy == ClosedPage {
+		bk.freeAt += s.cfg.TRP
+		bk.open = false
+	} else {
+		bk.open = true
+		bk.openRow = row
+	}
+	return done
+}
+
+// admitRead applies the bounded read queue: completed entries are
+// dropped, occupancy is sampled, and the arrival stalls until a slot
+// frees when the queue is full. Returns the (possibly delayed) arrival.
+func (s *SDRAM) admitRead(c *channel, t0 int64) int64 {
 	arrival := t0
 	live := c.inflight[:0]
 	for _, done := range c.inflight {
@@ -323,9 +444,15 @@ func (s *SDRAM) Access(addr uint64, t0 int64) int64 {
 		c.inflight = append(c.inflight[:oldest], c.inflight[oldest+1:]...)
 		s.st.StallCycles += uint64(arrival - t0)
 	}
+	return arrival
+}
 
-	s.refreshUpTo(c, arrival)
-
+// serviceRead runs one read through its channel, including queue
+// back-pressure and the bank-level-parallelism sample, and returns its
+// completion cycle.
+func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64) int64 {
+	c := &s.chans[ch]
+	arrival := s.admitRead(c, t0)
 	// Bank-level parallelism: banks already busy at arrival, across the
 	// whole part.
 	for ci := range s.chans {
@@ -335,135 +462,140 @@ func (s *SDRAM) Access(addr uint64, t0 int64) int64 {
 			}
 		}
 	}
-
-	bk := &c.banks[bi]
-	serviceStart := func() int64 {
-		start := max(arrival, bk.freeAt)
-		if s.cfg.Scheduler == FCFS {
-			start = max(start, c.cmdFree)
-		}
-		return start
-	}
-	start := serviceStart()
-	// A busy bank can carry the service past refresh boundaries the
-	// arrival had not reached; those refreshes still close the rows
-	// before the request is served.
-	for s.cfg.TREFI > 0 && start >= c.nextRefresh {
-		s.refreshUpTo(c, start)
-		start = serviceStart()
-	}
-
-	var rowLat int64
-	switch {
-	case bk.open && bk.openRow == row:
-		s.st.RowHits++
-	case !bk.open:
-		s.st.RowMisses++
-		rowLat = s.cfg.TRCD
-	default:
-		s.st.RowConflicts++
-		rowLat = s.cfg.TRP + s.cfg.TRCD
-	}
-
-	colIssue := start + rowLat
-	if s.cfg.Scheduler == FCFS {
-		c.cmdFree = colIssue
-	}
-	dataStart := max(colIssue+s.cfg.TCAS, c.busFree)
-	done := dataStart + s.cfg.TBurst
-	c.busFree = done
-	s.st.BusyCycles += uint64(s.cfg.TBurst)
-
-	bk.freeAt = done
-	if s.cfg.Policy == ClosedPage {
-		bk.freeAt += s.cfg.TRP
-		bk.open = false
-	} else {
-		bk.open = true
-		bk.openRow = row
-	}
-
+	done := s.service(c, bi, row, arrival, false)
 	c.inflight = append(c.inflight, done)
 	s.st.observe(t0, done, s.cfg.LineBytes)
 	return done
 }
 
-// Build constructs a backend from flag-level strings: kind is "fixed"
-// or "sdram"; mapping and sched configure the SDRAM variants;
-// fixedLatency is the flat latency of the fixed backend.
-func Build(kind, mapping, sched string, fixedLatency int64) (Backend, error) {
-	// Mapping and scheduler are validated for every kind so a typo is
-	// diagnosed even when the fixed backend would ignore the value
-	// (empty strings mean "unspecified" and stay legal for fixed).
-	kind = strings.ToLower(kind)
-	var m Mapping
-	var sc Scheduler
-	var err error
-	if mapping != "" || kind == "sdram" {
-		if m, err = ParseMapping(mapping); err != nil {
-			return nil, err
+// drainWrites empties the channel's write queue starting no earlier
+// than cycle t, bursting each write through its bank in queue order.
+// Reads keep priority by construction: a batch's reads are scheduled
+// before its writes enqueue, so drains only delay later traffic through
+// bank and bus occupancy.
+func (s *SDRAM) drainWrites(ci int, t int64) {
+	c := &s.chans[ci]
+	if len(c.writeQ) == 0 {
+		return
+	}
+	s.st.WriteDrains++
+	for _, w := range c.writeQ {
+		_, bi, row := s.decode(w.Addr)
+		done := s.service(c, bi, row, max(t, w.At), true)
+		// The drain's bus time must stay inside the bandwidth window,
+		// or drained bytes would report as transferred in zero cycles.
+		if done > s.st.LastDone {
+			s.st.LastDone = done
 		}
 	}
-	if sched != "" || kind == "sdram" {
-		if sc, err = ParseScheduler(sched); err != nil {
-			return nil, err
-		}
-	}
-	switch kind {
-	case "fixed":
-		return NewFixed(fixedLatency), nil
-	case "sdram":
-		cfg := DefaultConfig()
-		cfg.Mapping, cfg.Scheduler = m, sc
-		return NewSDRAM(cfg), nil
-	}
-	return nil, fmt.Errorf("unknown dram backend %q (fixed, sdram)", kind)
+	c.writeQ = c.writeQ[:0]
 }
 
-// ValidateFlagCombo rejects explicitly-set command-line knobs that the
-// selected backend kind would silently ignore: -dmap/-dsched only take
-// effect on the sdram backend, -mlat only on the fixed backend. Both
-// simulator binaries share this policy so their CLI contracts agree.
-func ValidateFlagCombo(kind string, dmapOrSchedSet, mlatSet bool) error {
-	kind = strings.ToLower(kind)
-	if dmapOrSchedSet && kind != "sdram" {
-		return fmt.Errorf("-dmap/-dsched require -dram sdram")
+// postWrite absorbs one write into the channel's write queue and
+// returns its acceptance cycle. Crossing the drain threshold flushes
+// the whole queue.
+func (s *SDRAM) postWrite(ci int, w Request) int64 {
+	c := &s.chans[ci]
+	ack := w.At + 1 // posted: the queue accepts it next cycle
+	c.writeQ = append(c.writeQ, w)
+	s.st.Writes++
+	s.st.observe(w.At, ack, s.cfg.LineBytes)
+	if len(c.writeQ) >= s.cfg.WQDrain {
+		s.drainWrites(ci, ack)
 	}
-	if mlatSet && kind == "sdram" {
-		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
-	}
-	return nil
+	return ack
 }
 
-// FormatSpec renders Build arguments as the compact
-// "kind[/mapping/sched]" spec string ParseSpec accepts — the form the
-// experiments runner keys simulations by.
-func FormatSpec(kind, mapping, sched string) string {
-	kind = strings.ToLower(kind)
-	if kind != "sdram" {
-		return kind
+// Submit implements Backend. The batch fans out across channels; each
+// channel schedules its reads through the FR-FCFS reorder window (row
+// hits within the first ReorderWindow pending requests are promoted
+// over older conflicts; FCFS keeps strict arrival order), then posts
+// the batch's writes into its write queue.
+func (s *SDRAM) Submit(batch []Request) []Completion {
+	s.comps = s.comps[:0]
+	if len(batch) == 0 {
+		return s.comps
 	}
-	return kind + "/" + strings.ToLower(mapping) + "/" + strings.ToLower(sched)
+	if cap(s.comps) < len(batch) {
+		s.comps = make([]Completion, len(batch))
+	} else {
+		s.comps = s.comps[:len(batch)]
+	}
+	s.dec = s.dec[:0]
+	s.wOrder = s.wOrder[:0]
+	for c := range s.perChan {
+		s.perChan[c] = s.perChan[c][:0]
+	}
+
+	// Decode every request once and split it per channel: reads into
+	// the channel's pending list, writes into a deferred list. Stable
+	// sorting by arrival keeps "oldest" well-defined even when the
+	// caller's batch is not time-ordered.
+	for i, r := range batch {
+		ch, bk, row := s.decode(r.Addr)
+		s.dec = append(s.dec, decoded{ch: ch, bk: bk, row: row})
+		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch}
+		if r.Write {
+			s.wOrder = append(s.wOrder, i)
+		} else {
+			s.perChan[ch] = append(s.perChan[ch], i)
+		}
+	}
+	for ch := range s.perChan {
+		pend := s.perChan[ch]
+		sort.SliceStable(pend, func(a, b int) bool { return batch[pend[a]].At < batch[pend[b]].At })
+	}
+
+	// Reads first (read priority), each channel independent.
+	for ch := range s.perChan {
+		pend := s.perChan[ch]
+		c := &s.chans[ch]
+		for len(pend) > 0 {
+			pick := 0
+			if s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1 {
+				w := len(pend)
+				if w > s.cfg.ReorderWindow {
+					w = s.cfg.ReorderWindow
+				}
+				for i := 0; i < w; i++ {
+					d := s.dec[pend[i]]
+					bk := &c.banks[d.bk]
+					// A refresh due before the candidate's arrival will
+					// close the row, so don't promote it as a hit.
+					if bk.open && bk.openRow == d.row &&
+						(s.cfg.TREFI <= 0 || batch[pend[i]].At < c.nextRefresh) {
+						pick = i
+						break
+					}
+				}
+			}
+			if pick != 0 {
+				s.st.Reordered++
+			}
+			i := pend[pick]
+			pend = append(pend[:pick], pend[pick+1:]...)
+			d := s.dec[i]
+			s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At)
+		}
+		s.perChan[ch] = pend
+	}
+
+	// Then the batch's writes, in arrival order.
+	sort.SliceStable(s.wOrder, func(a, b int) bool { return batch[s.wOrder[a]].At < batch[s.wOrder[b]].At })
+	for _, i := range s.wOrder {
+		s.comps[i].Done = s.postWrite(s.dec[i].ch, batch[i])
+	}
+	return s.comps
 }
 
-// ParseSpec builds a backend from a "kind[/mapping[/sched]]" spec
-// string; omitted sdram fields default to line/frfcfs.
-func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
-	parts := strings.SplitN(spec, "/", 3)
-	kind, mapping, sched := strings.ToLower(parts[0]), "", ""
-	if len(parts) > 1 {
-		mapping = parts[1]
+// Access submits a single read — the one-at-a-time compatibility path
+// the pre-batch API exposed; unit tests and the scalar adapter use it.
+func (s *SDRAM) Access(addr uint64, t0 int64) int64 { return Access(s, addr, t0) }
+
+// Flush drains every channel's write queue at its current bus-free
+// cycle, so end-of-run statistics account for all posted traffic.
+func (s *SDRAM) Flush() {
+	for ci := range s.chans {
+		s.drainWrites(ci, s.chans[ci].busFree)
 	}
-	if len(parts) > 2 {
-		sched = parts[2]
-	}
-	if kind == "sdram" {
-		if mapping == "" {
-			mapping = "line"
-		}
-		if sched == "" {
-			sched = "frfcfs"
-		}
-	}
-	return Build(kind, mapping, sched, fixedLatency)
 }

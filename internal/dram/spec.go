@@ -1,0 +1,246 @@
+package dram
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Preset selects a timing profile for the SDRAM model: a commodity DDR
+// DIMM or a die-stacked / HBM part (short tRCD/tCAS, many narrow
+// channels, hot refresh) — the high-bandwidth media-memory organization
+// the paper's argument points at.
+type Preset int
+
+const (
+	// PresetDDR is the commodity-DIMM profile (DefaultConfig).
+	PresetDDR Preset = iota
+	// PresetHBM is the die-stacked profile: 8 narrow channels, short
+	// row-management latencies, longer per-line bursts and a hotter
+	// refresh cadence.
+	PresetHBM
+)
+
+// String names the preset as the -dprof flag spells it.
+func (p Preset) String() string {
+	if p == PresetHBM {
+		return "hbm"
+	}
+	return "ddr"
+}
+
+// ParsePreset resolves a -dprof flag value.
+func ParsePreset(s string) (Preset, error) {
+	switch strings.ToLower(s) {
+	case "ddr", "commodity":
+		return PresetDDR, nil
+	case "hbm", "stacked", "3d":
+		return PresetHBM, nil
+	}
+	return 0, fmt.Errorf("unknown timing profile %q (ddr, hbm)", s)
+}
+
+// Config returns the preset's controller configuration.
+func (p Preset) Config() Config {
+	if p == PresetHBM {
+		return Config{
+			Channels: 8, Ranks: 1, Banks: 8,
+			RowBytes: 2 << 10, RowsPerBank: 1 << 14, LineBytes: lineBytes,
+			TRCD: 14, TCAS: 16, TRP: 14, TBurst: 16, TTurn: 2,
+			TREFI: 3900, TRFC: 140,
+			QueueDepth: 16, ReorderWindow: 8, WQDepth: 16, WQDrain: 12,
+			Mapping: MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+		}
+	}
+	return DefaultConfig()
+}
+
+// Knobs are the controller overrides the CLIs and spec strings expose
+// on top of a preset; zero values mean "keep the preset's setting".
+type Knobs struct {
+	Channels int // -dchan / "<n>ch": channel count (power of two)
+	WQDrain  int // -dwq / "wq<n>": write-queue drain threshold
+	Window   int // -dwin / "win<n>": FR-FCFS reorder window
+}
+
+func (k Knobs) apply(cfg Config) Config {
+	if k.Channels > 0 {
+		cfg.Channels = k.Channels
+	}
+	if k.WQDrain > 0 {
+		cfg.WQDrain = k.WQDrain
+		if cfg.WQDepth < cfg.WQDrain {
+			cfg.WQDepth = cfg.WQDrain
+		}
+	}
+	if k.Window > 0 {
+		cfg.ReorderWindow = k.Window
+	}
+	return cfg
+}
+
+// Build constructs a backend from flag-level strings: kind is "fixed"
+// or "sdram"; mapping and sched configure the SDRAM variants;
+// fixedLatency is the flat latency of the fixed backend. The default
+// DDR profile and preset knobs apply; BuildOpts exposes them.
+func Build(kind, mapping, sched string, fixedLatency int64) (Backend, error) {
+	return BuildOpts(kind, mapping, sched, "", Knobs{}, fixedLatency)
+}
+
+// BuildOpts is Build plus the timing profile and controller knobs.
+func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int64) (Backend, error) {
+	// Mapping, scheduler and profile are validated for every kind so a
+	// typo is diagnosed even when the fixed backend would ignore the
+	// value (empty strings mean "unspecified" and stay legal for fixed).
+	kind = strings.ToLower(kind)
+	var m Mapping
+	var sc Scheduler
+	var p Preset
+	var err error
+	if mapping != "" || kind == "sdram" {
+		if m, err = ParseMapping(mapping); err != nil {
+			return nil, err
+		}
+	}
+	if sched != "" || kind == "sdram" {
+		if sc, err = ParseScheduler(sched); err != nil {
+			return nil, err
+		}
+	}
+	if prof != "" {
+		if p, err = ParsePreset(prof); err != nil {
+			return nil, err
+		}
+	}
+	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 {
+		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d)",
+			knobs.Channels, knobs.WQDrain, knobs.Window)
+	}
+	switch kind {
+	case "fixed":
+		return NewFixed(fixedLatency), nil
+	case "sdram":
+		cfg := knobs.apply(p.Config())
+		cfg.Mapping, cfg.Scheduler = m, sc
+		if cfg.Channels <= 0 || cfg.Channels&(cfg.Channels-1) != 0 {
+			return nil, fmt.Errorf("channel count %d not a power of two", cfg.Channels)
+		}
+		return NewSDRAM(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown dram backend %q (fixed, sdram)", kind)
+}
+
+// ValidateFlagCombo rejects explicitly-set command-line knobs that the
+// selected backend kind would silently ignore: the sdram-only knobs
+// (-dmap/-dsched/-dprof/-dchan/-dwq/-dwin) only take effect on the
+// sdram backend, -mlat only on the fixed backend. Both simulator
+// binaries share this policy so their CLI contracts agree.
+func ValidateFlagCombo(kind string, sdramKnobSet, mlatSet bool) error {
+	kind = strings.ToLower(kind)
+	if sdramKnobSet && kind != "sdram" {
+		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwin require -dram sdram")
+	}
+	if mlatSet && kind == "sdram" {
+		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
+	}
+	return nil
+}
+
+// FormatSpec renders Build arguments as the compact
+// "kind[/mapping/sched]" spec string ParseSpec accepts — the form the
+// experiments runner keys simulations by. FormatSpecOpts adds the
+// profile and knob segments.
+func FormatSpec(kind, mapping, sched string) string {
+	return FormatSpecOpts(kind, mapping, sched, "", Knobs{})
+}
+
+// FormatSpecOpts renders the full
+// "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/win<n>]" form;
+// zero-valued knobs and an empty profile are omitted.
+func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
+	kind = strings.ToLower(kind)
+	if kind != "sdram" {
+		return kind
+	}
+	s := kind + "/" + strings.ToLower(mapping) + "/" + strings.ToLower(sched)
+	if prof != "" {
+		s += "/" + strings.ToLower(prof)
+	}
+	if knobs.Channels > 0 {
+		s += fmt.Sprintf("/%dch", knobs.Channels)
+	}
+	if knobs.WQDrain > 0 {
+		s += fmt.Sprintf("/wq%d", knobs.WQDrain)
+	}
+	if knobs.Window > 0 {
+		s += fmt.Sprintf("/win%d", knobs.Window)
+	}
+	return s
+}
+
+// parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
+// "win<n>".
+func parseKnob(tok string, k *Knobs) bool {
+	if n, ok := strings.CutSuffix(tok, "ch"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			k.Channels = v
+			return true
+		}
+		return false
+	}
+	if n, ok := strings.CutPrefix(tok, "wq"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			k.WQDrain = v
+			return true
+		}
+		return false
+	}
+	if n, ok := strings.CutPrefix(tok, "win"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			k.Window = v
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// ParseSpec builds a backend from a spec string:
+//
+//	fixed
+//	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/win<n>]
+//
+// Omitted sdram fields default to line/frfcfs/ddr; knob segments may
+// appear anywhere after the kind.
+func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
+	parts := strings.Split(spec, "/")
+	kind := strings.ToLower(parts[0])
+	mapping, sched, prof := "", "", ""
+	var knobs Knobs
+	pos := 0 // next positional field: 0 mapping, 1 sched, 2 profile
+	for _, tok := range parts[1:] {
+		if parseKnob(tok, &knobs) {
+			continue
+		}
+		switch pos {
+		case 0:
+			mapping = tok
+		case 1:
+			sched = tok
+		case 2:
+			prof = tok
+		default:
+			return nil, fmt.Errorf("unexpected spec segment %q in %q", tok, spec)
+		}
+		pos++
+	}
+	if kind == "sdram" {
+		if mapping == "" {
+			mapping = "line"
+		}
+		if sched == "" {
+			sched = "frfcfs"
+		}
+	}
+	return BuildOpts(kind, mapping, sched, prof, knobs, fixedLatency)
+}

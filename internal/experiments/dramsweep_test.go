@@ -49,6 +49,49 @@ func TestDRAMSweepShape(t *testing.T) {
 	}
 }
 
+func TestChannelScalingSweepShape(t *testing.T) {
+	// The test-scale benchmarks touch DRAM too rarely (a few dozen cold
+	// misses over the whole run) to exhibit bandwidth scaling, so this
+	// only checks the sweep's shape; TestChannelScalingFullGSM asserts
+	// the scaling itself on a full-size streaming kernel.
+	r := smallRunner()
+	rows := DRAMChannelScaling(r)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.BW) != len(DRAMChannels) || len(row.Cycles) != len(DRAMChannels) {
+			t.Fatalf("%s: missing columns", row.Bench)
+		}
+		for i := range DRAMChannels {
+			if row.Cycles[i] <= 0 || row.BW[i] <= 0 {
+				t.Errorf("%s/%dch: cycles %d bw %f", row.Bench, DRAMChannels[i], row.Cycles[i], row.BW[i])
+			}
+		}
+	}
+	out := RenderChannelScaling(rows)
+	if !strings.Contains(out, "channel scaling") || !strings.Contains(out, "gsmencode") {
+		t.Error("render missing header or benchmark rows")
+	}
+}
+
+func TestChannelScalingFullGSM(t *testing.T) {
+	// The acceptance bar for the per-channel-sharded controller: on a
+	// full-size streaming kernel, 4 channels achieve more DRAM
+	// bandwidth than 1. gsmencode is the densest DRAM client of the
+	// suite and the simulation is deterministic, so the comparison is
+	// exact.
+	r := NewRunnerWith([]kernels.Benchmark{kernels.GSMEncode(kernels.DefaultGSMEncConfig())})
+	one := r.SimDRAM("gsmencode", kernels.MOM3D, core.MemVectorCache3D, baseLat, "sdram/line/frfcfs/1ch")
+	four := r.SimDRAM("gsmencode", kernels.MOM3D, core.MemVectorCache3D, baseLat, "sdram/line/frfcfs/4ch")
+	if b1, b4 := one.DRAM.AchievedBandwidth(), four.DRAM.AchievedBandwidth(); b4 <= b1 {
+		t.Errorf("4-channel bandwidth %.2f B/cyc not above 1-channel %.2f", b4, b1)
+	}
+	if four.Cycles() > one.Cycles() {
+		t.Errorf("4-channel run slower: %d vs %d cycles", four.Cycles(), one.Cycles())
+	}
+}
+
 func TestFixedSpecMatchesSeedModel(t *testing.T) {
 	// The explicit fixed backend must reproduce the flat-latency seed
 	// model cycle-for-cycle.

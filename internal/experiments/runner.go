@@ -175,6 +175,11 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 		Trace:    tp.st,
 	}
 	if backend != nil {
+		// Drain any posted writes so the copied statistics account for
+		// all traffic the run generated.
+		if sd, ok := backend.(*dram.SDRAM); ok {
+			sd.Flush()
+		}
 		res.DRAM = *backend.Stats()
 	}
 	r.results[key] = res

@@ -13,8 +13,6 @@
 package vmem
 
 import (
-	"sort"
-
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/isa"
@@ -28,6 +26,9 @@ type Timing struct {
 	// Backend, when non-nil, models the main memory behind the L2 and
 	// replaces the flat MemLatency: every L2 miss becomes a dram
 	// request whose completion depends on row-buffer and bank state.
+	// The subsystems collect one instruction's misses into a batch and
+	// Submit them together, so the controller sees the instruction's
+	// whole memory parallelism at once.
 	Backend dram.Backend
 }
 
@@ -35,13 +36,45 @@ type Timing struct {
 func DefaultTiming() Timing { return Timing{L2Latency: 20, MemLatency: 100} }
 
 // MissDone returns the completion cycle of the main-memory access for
-// the line containing addr whose L2 miss is detected at cycle t. With
+// the line containing addr whose L2 miss is detected at cycle t — the
+// one-request-at-a-time compatibility adapter over the batch API. With
 // no Backend it reproduces the seed's flat model exactly: t+MemLatency.
 func (tm Timing) MissDone(addr uint64, t int64) int64 {
 	if tm.Backend != nil {
-		return tm.Backend.Access(addr, t)
+		return dram.Access(tm.Backend, addr, t)
 	}
 	return t + tm.MemLatency
+}
+
+// SubmitMisses presents one instruction's collected misses (and any
+// dirty-victim write-backs) to the main memory as a single batch and
+// returns the latest read completion, or t0 when every request was a
+// posted write. With no Backend each read costs the flat MemLatency;
+// posted write-backs are free, matching the seed model where they were
+// not represented at all.
+func (tm Timing) SubmitMisses(batch []dram.Request, t0 int64) int64 {
+	done := t0
+	if len(batch) == 0 {
+		return done
+	}
+	if tm.Backend == nil {
+		for _, r := range batch {
+			if !r.Write {
+				if d := r.At + tm.MemLatency; d > done {
+					done = d
+				}
+			}
+		}
+		return done
+	}
+	for _, c := range tm.Backend.Submit(batch) {
+		// Posted writes never gate instruction completion: the queue
+		// absorbs them and drains behind later traffic.
+		if !c.Write && c.Done > done {
+			done = c.Done
+		}
+	}
+	return done
 }
 
 // Stats aggregates a subsystem's activity. "Accesses" counts cache access
@@ -114,15 +147,7 @@ type MultiBanked struct {
 	banks   []int64
 	st      Stats
 	scratch []isa.ElemAccess
-	misses  []pendingMiss
-}
-
-// pendingMiss is an L2 miss awaiting its main-memory request: bank
-// conflicts skew the per-word access times, so misses are collected and
-// presented to the DRAM backend in arrival order.
-type pendingMiss struct {
-	addr uint64
-	at   int64
+	batch   []dram.Request
 }
 
 // NewMultiBanked builds the multi-banked subsystem over the shared L2.
@@ -144,7 +169,7 @@ func (m *MultiBanked) Stats() *Stats { return &m.st }
 func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
 	m.st.Instructions++
 	m.scratch = in.ElemAddrs(m.scratch[:0])
-	m.misses = m.misses[:0]
+	m.batch = m.batch[:0]
 	done := t0
 	for _, el := range m.scratch {
 		m.st.Elements++
@@ -173,36 +198,29 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
 			m.st.Accesses++
 			m.st.Words++
 			ct := t + m.tim.L2Latency
-			if !m.access(addr, in.IsStore) {
+			res := m.access(addr, in.IsStore)
+			if !res.Hit {
 				m.st.Misses++
-				if m.tim.Backend != nil {
-					m.misses = append(m.misses, pendingMiss{addr: addr, at: ct})
-				} else {
-					ct += m.tim.MemLatency
-				}
+				m.batch = append(m.batch, dram.Request{Addr: addr, At: ct})
+			}
+			if res.Writeback && m.tim.Backend != nil {
+				m.batch = append(m.batch, dram.Request{Addr: res.VictimAddr, Write: true, At: ct})
 			}
 			if ct > done {
 				done = ct
 			}
 		}
 	}
-	// Bank conflicts make the per-word times non-monotonic; present the
-	// misses to the DRAM backend in arrival order so its scheduling
-	// stays causal.
-	if len(m.misses) > 0 {
-		sort.SliceStable(m.misses, func(i, j int) bool { return m.misses[i].at < m.misses[j].at })
-		for _, p := range m.misses {
-			if d := m.tim.Backend.Access(p.addr, p.at); d > done {
-				done = d
-			}
-		}
-	}
-	return done
+	// The whole instruction's misses reach the controller as one batch:
+	// the memory parallelism the instruction exposes is visible to the
+	// scheduler at once. Bank conflicts make the per-word times
+	// non-monotonic; the backend orders arrivals itself.
+	return m.tim.SubmitMisses(m.batch, done)
 }
 
-func (m *MultiBanked) access(addr uint64, store bool) bool {
+func (m *MultiBanked) access(addr uint64, store bool) cache.Result {
 	coherenceInvalidate(m.l2, m.l1, addr, store, &m.st)
-	return m.l2.Access(addr, store, false).Hit
+	return m.l2.Access(addr, store, false)
 }
 
 // VectorCache is the port-widening design of Fig 2-b: one port delivering
@@ -220,6 +238,8 @@ type VectorCache struct {
 	st       Stats
 	scratch  []isa.ElemAccess
 	missBuf  []uint64
+	wbBuf    []uint64
+	batch    []dram.Request
 }
 
 // NewVectorCache builds the vector cache subsystem over the shared L2.
@@ -241,6 +261,7 @@ func (v *VectorCache) Stats() *Stats { return &v.st }
 // Issue implements System.
 func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 	v.st.Instructions++
+	v.batch = v.batch[:0]
 	done := t0
 	access := func(addr uint64, words int, elems int) {
 		t := t0
@@ -255,9 +276,12 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 		if missed := v.lookup(addr, uint64(words*8), in.IsStore); len(missed) > 0 {
 			v.st.Misses++
 			for _, a := range missed {
-				if d := v.tim.MissDone(a, t+v.tim.L2Latency); d > ct {
-					ct = d
-				}
+				v.batch = append(v.batch, dram.Request{Addr: a, At: ct})
+			}
+		}
+		if v.tim.Backend != nil {
+			for _, a := range v.wbBuf {
+				v.batch = append(v.batch, dram.Request{Addr: a, Write: true, At: ct})
 			}
 		}
 		if ct > done {
@@ -274,7 +298,8 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 			access(addr, in.Width, 1)
 			v.st.D3Words += uint64(in.Width)
 		}
-		return done
+		// The whole instruction's misses form one controller batch.
+		return v.tim.SubmitMisses(v.batch, done)
 	}
 
 	switch {
@@ -312,13 +337,15 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 			access(in.Addr+uint64(int64(e)*in.Stride), 1, 1)
 		}
 	}
-	return done
+	// The whole instruction's misses form one controller batch.
+	return v.tim.SubmitMisses(v.batch, done)
 }
 
 // lookup touches every L2 line the access spans (at most two for 2D
 // accesses, two for 128-byte 3D elements) and returns the line
-// addresses that missed; each becomes one main-memory request. The
-// returned slice is reused across calls.
+// addresses that missed; each becomes one main-memory request. Dirty
+// victims evicted by the fills land in wbBuf as pending write-backs.
+// Both slices are reused across calls.
 func (v *VectorCache) lookup(addr, bytes uint64, store bool) []uint64 {
 	if bytes == 0 {
 		bytes = 8
@@ -326,10 +353,15 @@ func (v *VectorCache) lookup(addr, bytes uint64, store bool) []uint64 {
 	first := v.l2.LineAddr(addr)
 	last := v.l2.LineAddr(addr + bytes - 1)
 	v.missBuf = v.missBuf[:0]
+	v.wbBuf = v.wbBuf[:0]
 	for a := first; ; a += uint64(v.l2.Config().LineSize) {
 		coherenceInvalidate(v.l2, v.l1, a, store, &v.st)
-		if !v.l2.Access(a, store, false).Hit {
+		res := v.l2.Access(a, store, false)
+		if !res.Hit {
 			v.missBuf = append(v.missBuf, a)
+		}
+		if res.Writeback {
+			v.wbBuf = append(v.wbBuf, res.VictimAddr)
 		}
 		if a == last {
 			break

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/dram"
 	"repro/internal/isa"
 )
 
@@ -171,6 +172,135 @@ func TestExclusiveBitInvalidatesL1(t *testing.T) {
 	v.Issue(st, 50)
 	if v.Stats().Invalidates != before {
 		t.Error("no further invalidations expected")
+	}
+}
+
+// TestMissDoneMatchesSubmit: the one-request compatibility adapter must
+// agree with a single-read batch through Submit, with and without a
+// backend (the bit-exact seed path).
+func TestMissDoneMatchesSubmit(t *testing.T) {
+	flat := Timing{L2Latency: 20, MemLatency: 100}
+	if got := flat.MissDone(0x1000, 40); got != 140 {
+		t.Fatalf("flat MissDone = %d, want 140", got)
+	}
+	if got := flat.SubmitMisses([]dram.Request{{Addr: 0x1000, At: 40}}, 40); got != 140 {
+		t.Fatalf("flat SubmitMisses = %d, want 140", got)
+	}
+
+	a, b := dram.NewFixed(100), dram.NewFixed(100)
+	viaMiss := Timing{L2Latency: 20, MemLatency: 100, Backend: a}.MissDone(0x1000, 40)
+	viaSubmit := Timing{L2Latency: 20, MemLatency: 100, Backend: b}.
+		SubmitMisses([]dram.Request{{Addr: 0x1000, At: 40}}, 40)
+	if viaMiss != viaSubmit {
+		t.Fatalf("MissDone %d != SubmitMisses %d", viaMiss, viaSubmit)
+	}
+}
+
+// recordingBackend captures every Submit batch so tests can assert the
+// subsystems collect one batch per instruction.
+type recordingBackend struct {
+	batches [][]dram.Request
+	st      dram.Stats
+	comps   []dram.Completion
+}
+
+func (r *recordingBackend) Name() string       { return "recording" }
+func (r *recordingBackend) Stats() *dram.Stats { return &r.st }
+func (r *recordingBackend) LineBytes() int     { return cache.L2LineBytes }
+func (r *recordingBackend) Reset()             { r.batches = nil }
+func (r *recordingBackend) Submit(batch []dram.Request) []dram.Completion {
+	cp := append([]dram.Request(nil), batch...)
+	r.batches = append(r.batches, cp)
+	r.comps = r.comps[:0]
+	for _, q := range batch {
+		r.comps = append(r.comps, dram.Completion{Addr: q.Addr, Write: q.Write, At: q.At, Done: q.At + 100})
+	}
+	return r.comps
+}
+
+// TestInstructionMissesFormOneBatch: a vector instruction's line misses
+// reach the backend in a single Submit call, so the controller sees the
+// instruction's whole memory parallelism at once.
+func TestInstructionMissesFormOneBatch(t *testing.T) {
+	rb := &recordingBackend{}
+	v := NewVectorCache(l2(), nil, Timing{L2Latency: 20, MemLatency: 100, Backend: rb}, 4, false)
+	// 32 consecutive words from a cold cache: two 128-byte lines miss.
+	done := v.Issue(momLoad(0, 32, 8), 0)
+	if len(rb.batches) != 1 {
+		t.Fatalf("Submit calls = %d, want 1 per instruction", len(rb.batches))
+	}
+	if len(rb.batches[0]) != 2 {
+		t.Fatalf("batch size = %d, want 2 line misses", len(rb.batches[0]))
+	}
+	for _, q := range rb.batches[0] {
+		if q.Write {
+			t.Fatalf("unexpected write in miss batch: %+v", q)
+		}
+	}
+	// Completion gates on the last read: the second line misses on the
+	// fifth access (cycle 4), +20 L2, +100 backend.
+	if done != 4+20+100 {
+		t.Fatalf("done = %d, want 124", done)
+	}
+
+	// A fully-hitting instruction submits nothing.
+	rb.batches = nil
+	v.Issue(momLoad(0, 32, 8), 200)
+	if len(rb.batches) != 0 {
+		t.Fatalf("hit instruction submitted %d batches", len(rb.batches))
+	}
+}
+
+// TestMultiBankedMissesFormOneBatch mirrors the above for the
+// multi-banked subsystem.
+func TestMultiBankedMissesFormOneBatch(t *testing.T) {
+	rb := &recordingBackend{}
+	m := NewMultiBanked(l2(), nil, Timing{L2Latency: 20, MemLatency: 100, Backend: rb}, 4, 8)
+	m.Issue(momLoad(0, 8, 64), 0) // stride 64B: 4 lines touched, all cold
+	if len(rb.batches) != 1 {
+		t.Fatalf("Submit calls = %d, want 1 per instruction", len(rb.batches))
+	}
+	if len(rb.batches[0]) != 4 {
+		t.Fatalf("batch size = %d, want 4 line misses", len(rb.batches[0]))
+	}
+}
+
+// TestDirtyVictimWritebackRidesBatch: evicting a dirty L2 line during a
+// fill adds a posted write to the instruction's batch that never gates
+// completion.
+func TestDirtyVictimWritebackRidesBatch(t *testing.T) {
+	l2c := cache.New(cache.Config{Name: "L2", Size: 4 * cache.L2LineBytes,
+		LineSize: cache.L2LineBytes, Ways: 1, WriteBack: true, Latency: 20})
+	rb := &recordingBackend{}
+	v := NewVectorCache(l2c, nil, Timing{L2Latency: 20, MemLatency: 100, Backend: rb}, 4, false)
+
+	// Dirty a line, then force its eviction with a conflicting fill
+	// (direct-mapped: same set every 4 lines).
+	st := &isa.Inst{Op: isa.OpVStore, Kind: isa.KindMOMMem, Addr: 0, VL: 4, Stride: 8, IsStore: true}
+	v.Issue(st, 0)
+	rb.batches = nil
+	done := v.Issue(momLoad(4*cache.L2LineBytes, 4, 8), 100)
+	if len(rb.batches) != 1 {
+		t.Fatalf("Submit calls = %d, want 1", len(rb.batches))
+	}
+	var reads, writes int
+	for _, q := range rb.batches[0] {
+		if q.Write {
+			writes++
+			if q.Addr != 0 {
+				t.Fatalf("writeback addr = %#x, want 0 (the dirty victim)", q.Addr)
+			}
+		} else {
+			reads++
+		}
+	}
+	if reads != 1 || writes != 1 {
+		t.Fatalf("batch = %d reads %d writes, want 1/1", reads, writes)
+	}
+	// The posted write-back must not gate the load: completion is the
+	// read's fill time.
+	if done != 100+20+100 {
+		t.Fatalf("done = %d, want 220 (write-back must not gate)", done)
 	}
 }
 
