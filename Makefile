@@ -13,9 +13,12 @@ test:
 
 # bench runs every benchmark exactly once as a perf-path smoke test:
 # a panic or regression in the hot simulation loops breaks the build
-# without paying for a full statistical benchmarking run.
+# without paying for a full statistical benchmarking run. The momsim
+# invocation smokes the non-blocking memory pipeline (-mshr 8) on the
+# full-size gsmencode stream, a path the Go benchmarks do not cross.
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 8
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -9,7 +9,9 @@
 //	momexp -table 4     one table (1, 2, 3, 4)
 //	momexp -headline    the abstract's summary numbers
 //	momexp -dramsweep   the fixed-vs-SDRAM main-memory comparison
+//	momexp -mshrsweep   the blocking-vs-MSHR non-blocking pipeline sweep
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
+//	momexp -mshr 8      ... with an 8-entry MSHR file (non-blocking pipeline)
 //	momexp -q           suppress per-simulation progress
 package main
 
@@ -27,13 +29,17 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a single table (1..4)")
 	headline := flag.Bool("headline", false, "print only the headline summary")
 	dramsweep := flag.Bool("dramsweep", false, "print only the fixed-vs-SDRAM sweep")
+	mshrsweep := flag.Bool("mshrsweep", false, "print only the blocking-vs-MSHR pipeline sweep")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
 	dprof := flag.String("dprof", "", "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
 	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
 	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
+	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = drain fully)")
+	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
+	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -45,27 +51,40 @@ func main() {
 	}
 	// Reject explicitly-set knobs the chosen backend would silently
 	// ignore (shared policy with momsim).
-	dramKnobSet, dramSet := false, false
+	dramKnobSet, dramSet, mshrSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwin":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
+		case "mshr":
+			mshrSet = true
 		}
 	})
 	if err := dram.ValidateFlagCombo(*dramName, dramKnobSet, false); err != nil {
 		fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
 		os.Exit(2)
 	}
-	// The sweep crosses its own backend configurations; explicit dram
+	if mshrSet && *dramName == "" {
+		// The seed's flat model has no spec to carry the knob; "fixed"
+		// is its bit-identical spec form.
+		fmt.Fprintln(os.Stderr, "momexp: -mshr requires -dram fixed or -dram sdram")
+		os.Exit(2)
+	}
+	// The sweeps cross their own backend configurations; explicit dram
 	// flags would be silently ignored there, so reject the combination.
-	if *dramsweep && (dramSet || dramKnobSet) {
-		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched")
+	if *dramsweep && (dramSet || dramKnobSet || mshrSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr")
+		os.Exit(2)
+	}
+	if *mshrsweep && (dramSet || dramKnobSet || mshrSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -mshrsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr")
 		os.Exit(2)
 	}
 	if *dramName != "" {
-		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin}
+		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin,
+			WQLow: *dwql, WQIdle: int64(*dwqi), MSHRs: *mshr}
 		// One build call validates backend kind, mapping, scheduler,
 		// profile and knobs; the runner would only panic on a bad spec
 		// much later.
@@ -83,6 +102,8 @@ func main() {
 		fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
 		fmt.Println()
 		fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
+	case *mshrsweep:
+		fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -108,12 +129,14 @@ func main() {
 		fmt.Println()
 		// The sweep fixes its own backend configurations; with explicit
 		// dram flags it would silently disregard them, so skip it.
-		if dramSet || dramKnobSet {
-			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM sweep (it compares its own backend configurations)")
+		if dramSet || dramKnobSet || mshrSet {
+			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM and MSHR sweeps (they compare their own backend configurations)")
 		} else {
 			fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
 			fmt.Println()
 			fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
+			fmt.Println()
+			fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())

@@ -22,7 +22,10 @@ type options struct {
 	DProf  string
 	DChan  int
 	DWQ    int
+	DWQL   int
+	DWQI   int
 	DWin   int
+	MSHR   int
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
@@ -53,7 +56,7 @@ func resolve(o options) (runConfig, error) {
 	var rc runConfig
 	bm, ok := kernels.ByName(o.Bench)
 	if !ok {
-		return rc, fmt.Errorf("unknown benchmark %q (mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode)", o.Bench)
+		return rc, fmt.Errorf("unknown benchmark %q (mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode, motionsearch)", o.Bench)
 	}
 	variant, cfg, err := parseISA(o.ISA)
 	if err != nil {
@@ -63,17 +66,21 @@ func resolve(o options) (runConfig, error) {
 	if err != nil {
 		return rc, err
 	}
-	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin}
+	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin,
+		WQLow: o.DWQL, WQIdle: int64(o.DWQI), MSHRs: o.MSHR}
 	backend, err := dram.BuildOpts(o.DRAM, o.DMap, o.DSched, o.DProf, knobs, o.MemLat)
 	if err != nil {
 		return rc, err
+	}
+	if memKind == core.MemIdeal && o.MSHR != 0 {
+		return rc, fmt.Errorf("-mshr needs a cache hierarchy; it has no effect with -mem ideal")
 	}
 	cfg.UseGshare = o.Gshare
 	rc.Bench = bm
 	rc.Variant = variant
 	rc.Core = cfg
 	rc.MemKind = memKind
-	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend}
+	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend, MSHRs: o.MSHR}
 	return rc, nil
 }
 

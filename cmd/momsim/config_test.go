@@ -63,6 +63,41 @@ func TestResolveSDRAMKnobs(t *testing.T) {
 	}
 }
 
+func TestResolveMSHR(t *testing.T) {
+	o := defaultOptions()
+	o.MSHR = 8
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(mshr): %v", err)
+	}
+	if rc.Timing.MSHRs != 8 {
+		t.Errorf("Timing.MSHRs = %d, want 8", rc.Timing.MSHRs)
+	}
+	// Default stays on the legacy blocking path.
+	if rc2, err := resolve(defaultOptions()); err != nil || rc2.Timing.MSHRs != 0 {
+		t.Errorf("default Timing.MSHRs = %d (err %v), want 0", rc2.Timing.MSHRs, err)
+	}
+	// -mshr works on the sdram backend too.
+	o = defaultOptions()
+	o.DRAM, o.MSHR = "sdram", 16
+	if rc, err = resolve(o); err != nil || rc.Timing.MSHRs != 16 {
+		t.Errorf("sdram Timing.MSHRs = %d (err %v), want 16", rc.Timing.MSHRs, err)
+	}
+}
+
+func TestResolveWriteDrainKnobs(t *testing.T) {
+	o := defaultOptions()
+	o.DRAM, o.DWQ, o.DWQL, o.DWQI = "sdram", 8, 2, 50
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(write-drain knobs): %v", err)
+	}
+	cfg := rc.Timing.Backend.(*dram.SDRAM).Config()
+	if cfg.WQDrain != 8 || cfg.WQLow != 2 || cfg.WQIdle != 50 {
+		t.Errorf("write-drain knobs not applied: %+v", cfg)
+	}
+}
+
 func TestResolveRejectsUnknownValues(t *testing.T) {
 	cases := []struct {
 		name string
@@ -82,6 +117,9 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"dchan", func(o *options) { o.DRAM = "sdram"; o.DChan = 3 }, "channel"},
 		{"dchan-negative", func(o *options) { o.DRAM = "sdram"; o.DChan = -4 }, "knobs"},
 		{"dwin-negative", func(o *options) { o.DRAM = "sdram"; o.DWin = -1 }, "knobs"},
+		{"mshr-negative", func(o *options) { o.MSHR = -2 }, "knobs"},
+		{"mshr-ideal", func(o *options) { o.Mem = "ideal"; o.MSHR = 8 }, "-mshr"},
+		{"dwql-above-drain", func(o *options) { o.DRAM = "sdram"; o.DWQ = 4; o.DWQL = 6 }, "watermark"},
 	}
 	for _, c := range cases {
 		o := defaultOptions()

@@ -8,9 +8,13 @@
 // ISA variants: mmx, mom, mom3d. Memory systems: ideal, multibanked,
 // vcache, vcache3d. DRAM backends: fixed (flat latency), sdram (banked
 // controller; -dmap picks the address mapping, -dsched the scheduler,
-// -dprof the timing profile (ddr/hbm), and -dchan/-dwq/-dwin override
-// the channel count, write-queue drain threshold and FR-FCFS reorder
-// window).
+// -dprof the timing profile (ddr/hbm), and -dchan/-dwq/-dwql/-dwqi/
+// -dwin override the channel count, write-queue drain threshold, drain
+// low watermark, idle-drain gap and FR-FCFS reorder window). -mshr N
+// enables the non-blocking memory pipeline: N miss-status holding
+// registers decouple instruction issue from memory completion (N=1 is
+// the bit-exact blocking compatibility mode; 0, the default, keeps the
+// legacy blocking path).
 package main
 
 import (
@@ -27,7 +31,7 @@ import (
 
 func main() {
 	def := defaultOptions()
-	benchName := flag.String("bench", def.Bench, "benchmark: mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode")
+	benchName := flag.String("bench", def.Bench, "benchmark: mpeg2encode, mpeg2decode, jpegencode, jpegdecode, gsmencode, motionsearch")
 	isaName := flag.String("isa", def.ISA, "ISA variant: mmx, mom, mom3d")
 	memName := flag.String("mem", def.Mem, "memory system: ideal, multibanked, vcache, vcache3d")
 	dramName := flag.String("dram", def.DRAM, "main-memory backend: fixed, sdram")
@@ -36,7 +40,10 @@ func main() {
 	dprof := flag.String("dprof", def.DProf, "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
 	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
 	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
+	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = drain fully)")
+	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
+	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model, 1 = blocking via the MSHR file)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
@@ -48,7 +55,7 @@ func main() {
 	dramKnobSet, dramSet, mlatSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwin":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -63,7 +70,8 @@ func main() {
 	rc, err := resolve(options{
 		Bench: *benchName, ISA: *isaName, Mem: *memName,
 		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof,
-		DChan: *dchan, DWQ: *dwq, DWin: *dwin,
+		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
+		MSHR:  *mshr,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
 	})
 	if err != nil {
@@ -116,6 +124,15 @@ func main() {
 	}
 	fmt.Printf("L2 activity: %d accesses (%d from scalar misses)\n", ms.L2Activity(), ms.ScalarL2Accesses)
 	fmt.Printf("forwarded loads: %d\n", st.Forwarded)
+	if f := ms.MSHR(); f != nil {
+		fs := f.Stats()
+		fmt.Printf("mshr file (%d entries): %d primary misses, %d merges, MLP %.2f (max %d)\n",
+			f.Cap(), fs.Allocs, fs.Merges, fs.MLP(), fs.OccMax)
+		fmt.Printf("mshr batches: %d flushes, avg %.2f requests spanning %.2f instructions (max %d); %d full stalls (%d cycles)\n",
+			fs.Flushes, fs.AvgBatch(), fs.AvgSpan(), fs.SpanMax, fs.FullStalls, fs.StallCycles)
+		fmt.Printf("early retirement: %d instructions graduated with misses in flight, %d store-buffer stalls\n",
+			st.EarlyRetired, st.StallSB)
+	}
 	// Drain any posted writes so the report accounts for all traffic.
 	if sd, ok := ms.DRAM().(*dram.SDRAM); ok {
 		sd.Flush()
@@ -129,8 +146,11 @@ func main() {
 				ds.RowHitRate(), ds.RowHits, ds.RowMisses, ds.RowConflicts, ds.Refreshes)
 			fmt.Printf("dram queue: avg %.2f (max %d), %d stall cycles, bank-level parallelism %.2f, bus utilization %.2f\n",
 				ds.AvgQueueOccupancy(), ds.QueueMax, ds.StallCycles, ds.BankLevelParallelism(), ds.BusUtilization())
-			fmt.Printf("dram batches: %d posted writes (%d drains), %d FR-FCFS row-hit promotions\n",
-				ds.Writes, ds.WriteDrains, ds.Reordered)
+			fmt.Printf("dram batches: %d posted writes (%d drains, %d partial, %d opportunistic), %d FR-FCFS row-hit promotions\n",
+				ds.Writes, ds.WriteDrains, ds.PartialDrains, ds.OppDrains, ds.Reordered)
+			if ds.WriteReadStall > 0 {
+				fmt.Printf("dram write-induced read stall: %d bus cycles\n", ds.WriteReadStall)
+			}
 		}
 	}
 	if rc.MemKind != core.MemIdeal {

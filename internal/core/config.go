@@ -35,6 +35,14 @@ type Config struct {
 	MemIssue int // memory instructions issued per cycle
 	L1Ports  int // scalar-side L1 ports
 
+	// StoreBuf bounds stores that have retired from the window while
+	// their line fill is still outstanding in the MSHR file (the
+	// non-blocking pipeline lets stores graduate underneath in-flight
+	// misses); commit stalls when it is full. 0 means unbounded. Only
+	// meaningful with MSHRs >= 2 — the blocking model never retires a
+	// store before its memory completes.
+	StoreBuf int
+
 	// Physical register capacities (Table 3). In-flight writers per
 	// class are bounded by physical - logical.
 	PhysVec, LogVec int
@@ -57,7 +65,7 @@ func MMXCore() Config {
 		FetchWidth: 8, CommitWidth: 8, Window: 128, LSQ: 32,
 		IntIssue: 4, IntFUs: 4,
 		SIMDIssue: 4, SIMDFUs: 4, Lanes: 1,
-		MemIssue: 4, L1Ports: 4,
+		MemIssue: 4, L1Ports: 4, StoreBuf: 16,
 		PhysVec: 80, LogVec: 32,
 		PhysAcc: 4, LogAcc: 2,
 		Phys3D: 4, Log3D: 2,
@@ -74,7 +82,7 @@ func MOMCore() Config {
 		FetchWidth: 8, CommitWidth: 8, Window: 128, LSQ: 32,
 		IntIssue: 4, IntFUs: 4,
 		SIMDIssue: 1, SIMDFUs: 1, Lanes: 4,
-		MemIssue: 2, L1Ports: 2,
+		MemIssue: 2, L1Ports: 2, StoreBuf: 16,
 		PhysVec: 36, LogVec: 16,
 		PhysAcc: 4, LogAcc: 2,
 		Phys3D: 4, Log3D: 2,

@@ -79,13 +79,19 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 		panic(fmt.Sprintf("dram line bytes %d != L2 line size %d",
 			tim.Backend.LineBytes(), m.L2.Config().LineSize))
 	}
+	if tim.MSHRs >= 1 {
+		// One MSHR file serves the vector subsystem and the scalar miss
+		// path: both sit behind the same L2, so their misses share the
+		// same outstanding-line budget and the same Submit batches.
+		m.Tim.MSHR = vmem.NewMSHRFile(tim, tim.MSHRs)
+	}
 	switch kind {
 	case MemMultiBanked:
-		m.VM = vmem.NewMultiBanked(m.L2, m.L1, tim, 4, 8)
+		m.VM = vmem.NewMultiBanked(m.L2, m.L1, m.Tim, 4, 8)
 	case MemVectorCache:
-		m.VM = vmem.NewVectorCache(m.L2, m.L1, tim, lanes, false)
+		m.VM = vmem.NewVectorCache(m.L2, m.L1, m.Tim, lanes, false)
 	case MemVectorCache3D:
-		m.VM = vmem.NewVectorCache(m.L2, m.L1, tim, lanes, true)
+		m.VM = vmem.NewVectorCache(m.L2, m.L1, m.Tim, lanes, true)
 	}
 	if bankL1 {
 		m.l1Banks = make([]int64, 8)
@@ -94,10 +100,12 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 }
 
 // ScalarAccess schedules one scalar or μSIMD memory access issued at
-// cycle t and returns its completion cycle.
-func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) int64 {
+// cycle t. The int64 is the cycle the access clears the L1/L2 pipeline
+// (final for hits and stores); the Pending handle, when non-nil,
+// tracks a main-memory line fill still outstanding in the MSHR file.
+func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	if m.Kind == MemIdeal {
-		return t + 1
+		return t + 1, nil
 	}
 	if m.l1Banks != nil {
 		bank := (in.Addr >> 3) % uint64(len(m.l1Banks))
@@ -109,26 +117,26 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) int64 {
 	if in.IsStore {
 		// Write-through, no-allocate; the write buffer hides latency.
 		m.L1.Access(in.Addr, true, false)
-		return t + 1
+		return t + 1, nil
 	}
 	if m.L1.Access(in.Addr, false, false).Hit {
-		return t + m.L1.Config().Latency
+		return t + m.L1.Config().Latency, nil
 	}
 	m.ScalarL2Accesses++
 	done := t + m.L1.Config().Latency + m.Tim.L2Latency
 	res := m.L2.Access(in.Addr, false, true)
-	if !res.Hit {
-		// A scalar miss is a one-request batch; a dirty victim evicted
-		// by the fill rides along as a posted write-back that never
-		// gates the load.
-		m.scalarBatch = m.scalarBatch[:0]
-		m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: in.Addr, At: done})
-		if res.Writeback && m.Tim.Backend != nil {
-			m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: res.VictimAddr, Write: true, At: done})
-		}
-		done = m.Tim.SubmitMisses(m.scalarBatch, done)
+	if res.Hit {
+		return done, nil
 	}
-	return done
+	// A scalar miss is a one-request batch; a dirty victim evicted
+	// by the fill rides along as a posted write-back that never
+	// gates the load.
+	m.scalarBatch = m.scalarBatch[:0]
+	m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: in.Addr, At: done})
+	if res.Writeback && m.Tim.Backend != nil {
+		m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: res.VictimAddr, Write: true, At: done})
+	}
+	return m.Tim.Complete(m.scalarBatch, done)
 }
 
 // L2Activity returns total L2 accesses: vector subsystem activity plus
@@ -141,4 +149,19 @@ func (m *MemSystem) L2Activity() uint64 {
 // paths, or nil when the flat MemLatency model is in use.
 func (m *MemSystem) DRAM() dram.Backend {
 	return m.Tim.Backend
+}
+
+// MSHR returns the miss-status holding register file, or nil when the
+// blocking model is in use.
+func (m *MemSystem) MSHR() *vmem.MSHRFile {
+	return m.Tim.MSHR
+}
+
+// Drain submits any misses and write-backs still sitting in the MSHR
+// file's pending batch, so end-of-run statistics (and the dram write
+// queue) account for all traffic the run generated.
+func (m *MemSystem) Drain() {
+	if m.Tim.MSHR != nil {
+		m.Tim.MSHR.Drain()
+	}
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+// equivBenches is the full benchmark suite at test scale: the five
+// paper kernels plus the HD motionsearch stream.
+func equivBenches() []kernels.Benchmark {
+	return []kernels.Benchmark{
+		JPEGEnc(), JPEGDec(), MPEG2Dec(), MPEG2Enc(), GSMEnc(),
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig()),
+	}
+}
+
+func JPEGEnc() kernels.Benchmark  { return kernels.JPEGEncode(kernels.SmallJPEGEncConfig()) }
+func JPEGDec() kernels.Benchmark  { return kernels.JPEGDecode(kernels.SmallJPEGDecConfig()) }
+func MPEG2Dec() kernels.Benchmark { return kernels.MPEG2Decode(kernels.SmallMPEG2DecConfig()) }
+func MPEG2Enc() kernels.Benchmark { return kernels.MPEG2Encode(kernels.SmallMPEG2EncConfig()) }
+func GSMEnc() kernels.Benchmark   { return kernels.GSMEncode(kernels.SmallGSMEncConfig()) }
+
+// simBench runs one benchmark trace through one memory configuration.
+func simBench(t *testing.T, tr *trace.Trace, v kernels.Variant, kind MemKind, spec string, mshrs int) *Stats {
+	t.Helper()
+	cfg := MOMCore()
+	if v == kernels.MMX {
+		cfg = MMXCore()
+	}
+	var backend dram.Backend
+	if spec != "" {
+		b, err := dram.ParseSpec(spec, 100)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		backend = b
+	}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend, MSHRs: mshrs}
+	ms := NewMemSystem(kind, tim, cfg.Lanes, v == kernels.MMX && kind != MemIdeal)
+	return Simulate(cfg, ms, tr.Insts)
+}
+
+// TestMSHR1MatchesBlockingAllBenchmarks is the refactor's safety net:
+// with a 1-entry MSHR file the decoupled machinery must reproduce the
+// blocking model's cycle counts bit-identically on every benchmark,
+// over both the flat backend and the banked SDRAM.
+func TestMSHR1MatchesBlockingAllBenchmarks(t *testing.T) {
+	variants := []struct {
+		v    kernels.Variant
+		kind MemKind
+	}{
+		{kernels.MOM3D, MemVectorCache3D},
+		{kernels.MOM, MemVectorCache},
+		{kernels.MMX, MemMultiBanked},
+	}
+	for _, bm := range equivBenches() {
+		for _, vk := range variants {
+			tr := &trace.Trace{}
+			bm.Run(vk.v, tr)
+			for _, spec := range []string{"fixed", "sdram/line/frfcfs"} {
+				name := fmt.Sprintf("%s/%v/%s", bm.Name, vk.v, spec)
+				blocking := simBench(t, tr, vk.v, vk.kind, spec, 0)
+				mshr1 := simBench(t, tr, vk.v, vk.kind, spec, 1)
+				if blocking.Cycles != mshr1.Cycles {
+					t.Errorf("%s: -mshr 1 cycles %d != blocking %d", name, mshr1.Cycles, blocking.Cycles)
+				}
+				if blocking.Committed != mshr1.Committed {
+					t.Errorf("%s: committed %d != %d", name, mshr1.Committed, blocking.Committed)
+				}
+				if mshr1.EarlyRetired != 0 {
+					t.Errorf("%s: blocking-mode file early-retired %d instructions", name, mshr1.EarlyRetired)
+				}
+			}
+		}
+	}
+}
+
+// TestDecoupledPipelineCompletes: the non-blocking pipeline must commit
+// every instruction, overlap misses (early retirement observed), and
+// never lose a completion — final cycles cover the last outstanding
+// fill.
+func TestDecoupledPipelineCompletes(t *testing.T) {
+	bm := kernels.MotionSearch(kernels.SmallMotionSearchConfig())
+	tr := &trace.Trace{}
+	bm.Run(kernels.MOM3D, tr)
+	blocking := simBench(t, tr, kernels.MOM3D, MemVectorCache3D, "sdram/line/frfcfs", 0)
+	dec := simBench(t, tr, kernels.MOM3D, MemVectorCache3D, "sdram/line/frfcfs", 16)
+	if dec.Committed != blocking.Committed {
+		t.Fatalf("committed %d != blocking %d", dec.Committed, blocking.Committed)
+	}
+	if dec.EarlyRetired == 0 {
+		t.Error("a streaming kernel over a 16-entry file must retire instructions under outstanding misses")
+	}
+}
+
+// TestScoreboardStallsOnTrueDependency: a consumer of a missing load's
+// register must wait for the fill, while a run whose tail is
+// independent of the load streams past it. The two traces differ only
+// in whether the add chain reads the loaded register.
+func TestScoreboardStallsOnTrueDependency(t *testing.T) {
+	const chain = 100
+	mk := func(dependent bool) []isa.Inst {
+		var insts []isa.Inst
+		// One cold scalar load: L1 miss + L2 miss + 100-cycle memory.
+		insts = append(insts, isa.Inst{Op: isa.OpLoad, Kind: isa.KindScalarMem,
+			Dst: isa.R(1), Imm: 8, Addr: 0x80000})
+		src := 2
+		if dependent {
+			src = 1
+		}
+		insts = append(insts, isa.Inst{Op: isa.OpIAdd, Kind: isa.KindScalar,
+			Dst: isa.R(3), Src1: isa.R(src), Src2: isa.R(4)})
+		for i := 0; i < chain; i++ {
+			insts = append(insts, isa.Inst{Op: isa.OpIAddImm, Kind: isa.KindScalar,
+				Dst: isa.R(3), Src1: isa.R(3), Imm: 1})
+		}
+		for i := range insts {
+			insts[i].Seq = uint64(i)
+		}
+		return insts
+	}
+	run := func(dependent bool) *Stats {
+		tim := vmem.Timing{L2Latency: 20, MemLatency: 100, MSHRs: 8}
+		ms := NewMemSystem(MemVectorCache, tim, 4, false)
+		return Simulate(MMXCore(), ms, mk(dependent))
+	}
+	dep := run(true)
+	indep := run(false)
+	// The dependent chain serializes behind the ~120-cycle miss; the
+	// independent chain only pays the drain (the fill completes under
+	// the adds).
+	if dep.Cycles < 120+chain {
+		t.Errorf("dependent chain finished in %d cycles; the consumer must wait for the fill", dep.Cycles)
+	}
+	if indep.Cycles >= dep.Cycles {
+		t.Errorf("independent chain (%d cycles) must beat the dependent chain (%d)", indep.Cycles, dep.Cycles)
+	}
+	if indep.EarlyRetired == 0 {
+		t.Error("the independent run must retire the load before its fill")
+	}
+}
+
+// TestStoreBufferBounds: with a 1-entry store buffer, back-to-back
+// missing stores must stall commit.
+func TestStoreBufferBounds(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 16; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpVStore, Kind: isa.KindMOMMem,
+			Src2: isa.V(1), VL: 4, Stride: 8, Addr: uint64(0x10000 + i*4096), IsStore: true})
+	}
+	for i := range insts {
+		insts[i].Seq = uint64(i)
+	}
+	cfg := MOMCore()
+	cfg.StoreBuf = 1
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, MSHRs: 8}
+	ms := NewMemSystem(MemVectorCache, tim, 4, false)
+	st := Simulate(cfg, ms, insts)
+	if st.Committed != 16 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if st.StallSB == 0 {
+		t.Error("a 1-entry store buffer must stall commit under missing stores")
+	}
+}

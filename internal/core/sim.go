@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/vmem"
 )
 
 // Stats is the outcome of one simulation.
@@ -21,6 +22,13 @@ type Stats struct {
 	// Dispatch stall diagnostics (cycles in which dispatch stopped for
 	// each reason; a cycle can be charged to at most one reason).
 	StallROB, StallLSQ, StallRegs uint64
+
+	// Non-blocking pipeline diagnostics. EarlyRetired counts
+	// instructions that graduated while their memory completion was
+	// still outstanding in the MSHR file; StallSB counts commit stalls
+	// on a full store buffer.
+	EarlyRetired uint64
+	StallSB      uint64
 }
 
 // IPC returns committed instructions per cycle.
@@ -51,11 +59,26 @@ type robEntry struct {
 	deps    [5]dep
 	ndeps   int
 	lo, hi  uint64 // memory address range (loads and stores)
+
+	// pend tracks the entry's outstanding line misses in the MSHR file.
+	// done then only covers port/bank occupancy and cache hits; the
+	// data is architecturally complete when pend reports ready.
+	// Always nil under the blocking model.
+	pend *vmem.Pending
 }
 
 type storeRec struct {
 	seq    uint64
 	lo, hi uint64
+}
+
+// pendRec is one scoreboard entry: the outstanding completion handle
+// of a graduated instruction and the destination register it will
+// eventually fill, so the rename mapping can be released once the data
+// arrives.
+type pendRec struct {
+	h   *vmem.Pending
+	dst isa.Reg
 }
 
 // Sim is one processor instance bound to a memory system.
@@ -80,6 +103,15 @@ type Sim struct {
 
 	simdBusyUntil  int64 // MOM single SIMD unit occupancy
 	moverBusyUntil int64 // 3D->MOM register transfer datapath occupancy
+
+	// Scoreboard for the non-blocking memory pipeline: instructions
+	// that graduated with their miss still outstanding park their
+	// handle here, keyed by sequence number, so younger readers of the
+	// destination register keep stalling on the true dependency after
+	// the ROB entry is gone. postedStores is the store buffer: retired
+	// stores whose line fill is still in flight.
+	pendBySeq    map[uint64]pendRec
+	postedStores []*vmem.Pending
 
 	// Branch prediction state (gshare ablation).
 	history        uint64
@@ -111,13 +143,15 @@ func (s *Sim) classLimit(c isa.RegClass) int {
 // Simulate runs the dynamic instruction stream to completion and returns
 // the statistics. The memory system accumulates its own counters.
 func Simulate(cfg Config, mem *MemSystem, insts []isa.Inst) *Stats {
-	s := &Sim{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.Window)}
+	s := &Sim{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.Window),
+		pendBySeq: map[uint64]pendRec{}}
 	if cfg.UseGshare {
 		s.pht = make([]int8, 1<<cfg.GshareBits)
 	}
 	next := 0 // next trace index to dispatch
 	lastCommitCycle := int64(0)
 	for next < len(insts) || s.count > 0 {
+		s.prunePending()
 		if s.commit() {
 			lastCommitCycle = s.now
 		}
@@ -129,8 +163,53 @@ func Simulate(cfg Config, mem *MemSystem, insts []isa.Inst) *Stats {
 				s.now, next, len(insts), s.count))
 		}
 	}
+	// The window is empty, but the non-blocking pipeline may still have
+	// misses in flight; the run ends when the last one lands. (The
+	// end-of-trace acts as the pipeline's only barrier — the ISA has no
+	// explicit fence instruction.)
 	s.stats.Cycles = s.now
+	for _, rec := range s.pendBySeq {
+		if d := rec.h.Done(); d > s.stats.Cycles {
+			s.stats.Cycles = d
+		}
+	}
+	for _, h := range s.postedStores {
+		if d := h.Done(); d > s.stats.Cycles {
+			s.stats.Cycles = d
+		}
+	}
+	mem.Drain()
 	return &s.stats
+}
+
+// prunePending clears scoreboard entries whose data has arrived,
+// releasing the rename mapping they held. It only consults already
+// resolved state (Settled never forces the MSHR file to flush), so
+// polling it every cycle does not perturb batch accumulation.
+func (s *Sim) prunePending() {
+	if len(s.pendBySeq) > 0 {
+		for seq, rec := range s.pendBySeq {
+			if !rec.h.Settled(s.now) {
+				continue
+			}
+			if r := rec.dst; r.Valid() {
+				c, i := r.Class(), r.Index()
+				if s.hasW[c][i] && s.writer[c][i] == seq {
+					s.hasW[c][i] = false
+				}
+			}
+			delete(s.pendBySeq, seq)
+		}
+	}
+	if len(s.postedStores) > 0 {
+		live := s.postedStores[:0]
+		for _, h := range s.postedStores {
+			if !h.Settled(s.now) {
+				live = append(live, h)
+			}
+		}
+		s.postedStores = live
+	}
 }
 
 func (s *Sim) entry(seq uint64) *robEntry {
@@ -141,7 +220,14 @@ func (s *Sim) entry(seq uint64) *robEntry {
 	return nil // already committed
 }
 
-// commit retires up to CommitWidth completed instructions in order.
+// commit retires up to CommitWidth completed instructions in order. An
+// instruction whose port/bank occupancy is done but whose line miss is
+// still outstanding retires early: its destination register stays
+// busy on the scoreboard (pendBySeq) so true dependents keep waiting,
+// while independent younger instructions stream past — the
+// out-of-order memory completion the MSHR file enables. Retired stores
+// with outstanding fills occupy the store buffer; commit stalls when
+// it is full.
 func (s *Sim) commit() bool {
 	n := 0
 	for n < s.cfg.CommitWidth && s.count > 0 {
@@ -150,10 +236,30 @@ func (s *Sim) commit() bool {
 			break
 		}
 		in := e.in
-		// Release rename state.
-		s.release(in.Dst, e.seq)
+		outstanding := e.pend != nil && !e.pend.Settled(s.now)
+		if outstanding && in.IsStore && s.cfg.StoreBuf > 0 &&
+			len(s.postedStores) >= s.cfg.StoreBuf {
+			// Store buffer full: force the oldest posted store toward
+			// resolution (ReadyBy flushes once its lower bound passes)
+			// and retry next cycle.
+			s.stats.StallSB++
+			s.postedStores[0].ReadyBy(s.now)
+			break
+		}
+		// Release rename state. A destination still waiting on memory
+		// keeps its mapping: the scoreboard owns it until the fill
+		// lands (prunePending clears it).
+		keepDst := outstanding && in.Dst.Valid()
+		s.release(in.Dst, e.seq, keepDst)
 		if in.Op == isa.Op3DVMov {
-			s.release(in.Ptr, e.seq)
+			s.release(in.Ptr, e.seq, false)
+		}
+		if outstanding {
+			s.stats.EarlyRetired++
+			s.pendBySeq[e.seq] = pendRec{h: e.pend, dst: in.Dst}
+			if in.IsStore {
+				s.postedStores = append(s.postedStores, e.pend)
+			}
 		}
 		if in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem {
 			s.lsqCount--
@@ -171,12 +277,16 @@ func (s *Sim) commit() bool {
 	return n > 0
 }
 
-func (s *Sim) release(r isa.Reg, seq uint64) {
+// release frees one rename mapping at commit. keepMapping leaves the
+// writer visible (the scoreboard case: the physical register slot is
+// recycled for dispatch accounting, but readers must still find the
+// in-flight producer).
+func (s *Sim) release(r isa.Reg, seq uint64, keepMapping bool) {
 	if !r.Valid() {
 		return
 	}
 	c, i := r.Class(), r.Index()
-	if s.hasW[c][i] && s.writer[c][i] == seq {
+	if !keepMapping && s.hasW[c][i] && s.writer[c][i] == seq {
 		s.hasW[c][i] = false
 	}
 	s.inflight[c]--
@@ -189,7 +299,15 @@ func (s *Sim) ready(e *robEntry) bool {
 		d := e.deps[i]
 		p := s.entry(d.seq)
 		if p == nil {
-			continue // committed, value in the register file
+			// Committed — but a producer that retired early may still
+			// be filling the register from memory; the scoreboard keeps
+			// the true dependency alive. (ReadyBy resolves the MSHR
+			// batch lazily: it answers false for free while the
+			// minimum-latency bound rules completion out.)
+			if rec, ok := s.pendBySeq[d.seq]; ok && !d.usePtr && !rec.h.ReadyBy(s.now) {
+				return false
+			}
+			continue // value in the register file
 		}
 		if !p.issued {
 			return false
@@ -199,6 +317,9 @@ func (s *Sim) ready(e *robEntry) bool {
 			t = p.donePtr
 		}
 		if t > s.now {
+			return false
+		}
+		if !d.usePtr && p.pend != nil && !p.pend.ReadyBy(s.now) {
 			return false
 		}
 	}
@@ -267,13 +388,17 @@ func (s *Sim) issue() {
 			return s.now + 2, true
 		}
 		if e.in.Kind.IsVectorMem() {
-			return s.mem.VM.Issue(e.in, s.now), true
+			done, pend := s.mem.VM.Issue(e.in, s.now)
+			e.pend = pend
+			return done, true
 		}
 		if l1Used >= s.cfg.L1Ports {
 			return 0, false
 		}
 		l1Used++
-		return s.mem.ScalarAccess(e.in, s.now), true
+		done, pend := s.mem.ScalarAccess(e.in, s.now)
+		e.pend = pend
+		return done, true
 	})
 }
 

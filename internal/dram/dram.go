@@ -29,11 +29,15 @@ const lineBytes = cache.L2LineBytes
 
 // Request is one main-memory transaction: the line fill (Write false)
 // or write-back (Write true) of the L2 line containing Addr, arriving
-// at the controller at cycle At.
+// at the controller at cycle At. ID is an opaque caller tag (the MSHR
+// entry the request belongs to); backends carry it through to the
+// matching Completion untouched so completions can be routed back to
+// their MSHRs even after the scheduler reorders the batch.
 type Request struct {
 	Addr  uint64
 	Write bool
 	At    int64
+	ID    uint64
 }
 
 // Completion reports the outcome of one Request. Done is the cycle the
@@ -48,6 +52,7 @@ type Completion struct {
 	At      int64
 	Done    int64
 	Channel int
+	ID      uint64 // the submitting Request's ID, carried through verbatim
 }
 
 // Backend is one main-memory model. Submit schedules a whole batch of
@@ -70,6 +75,12 @@ type Backend interface {
 	// LineBytes is the transfer granularity of one request; callers
 	// issue one request per cache line of this size.
 	LineBytes() int
+	// MinReadLatency is a lower bound on Done-At for any read the
+	// backend could ever service: no request completes faster than
+	// this, whatever the bank, queue and bus state. MSHR bookkeeping
+	// uses it to answer "certainly not done yet" without forcing the
+	// pending batch to be scheduled early.
+	MinReadLatency() int64
 	// Reset clears all timing state and counters.
 	Reset()
 }
@@ -95,9 +106,19 @@ type Stats struct {
 
 	// Reordered counts FR-FCFS promotions: a row hit in the visible
 	// window serviced ahead of an older request. WriteDrains counts
-	// write-queue drain events (each drains the whole queue).
-	Reordered   uint64
-	WriteDrains uint64
+	// write-queue drain events; PartialDrains counts the subset that
+	// stopped at the low watermark instead of emptying the queue, and
+	// OppDrains counts writes retired opportunistically on an idle bus
+	// ahead of a read they provably could not delay.
+	Reordered     uint64
+	WriteDrains   uint64
+	PartialDrains uint64
+	OppDrains     uint64
+
+	// WriteReadStall accumulates data-bus cycles reads spent waiting
+	// behind write bursts (including the read↔write turnaround) — the
+	// write-induced read latency the drain policy is tuned against.
+	WriteReadStall uint64
 
 	// QueueSum accumulates the controller-queue occupancy sampled at
 	// each read arrival (counting the arriving request); QueueMax
@@ -202,6 +223,10 @@ func (f *Fixed) Stats() *Stats { return &f.st }
 // LineBytes implements Backend.
 func (f *Fixed) LineBytes() int { return f.lineBytes }
 
+// MinReadLatency implements Backend: every request takes exactly
+// Latency.
+func (f *Fixed) MinReadLatency() int64 { return f.Latency }
+
 // Reset implements Backend.
 func (f *Fixed) Reset() { f.st = Stats{} }
 
@@ -214,7 +239,7 @@ func (f *Fixed) Submit(batch []Request) []Completion {
 			f.st.Writes++
 		}
 		f.st.observe(r.At, done, f.lineBytes)
-		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done})
+		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done, ID: r.ID})
 	}
 	return f.comps
 }

@@ -134,7 +134,19 @@ type Config struct {
 	QueueDepth    int // in-flight reads per channel before back-pressure
 	ReorderWindow int // FR-FCFS visible window (1 = arrival order only)
 	WQDepth       int // write-queue sizing; drain-at-threshold keeps occupancy below it
-	WQDrain       int // occupancy that triggers a full write drain (≤ WQDepth)
+	WQDrain       int // occupancy that triggers a write drain (≤ WQDepth)
+
+	// WQLow is the low watermark a threshold drain stops at: crossing
+	// WQDrain retires writes oldest-first until WQLow remain, instead
+	// of emptying the queue (0 keeps the full drain). WQIdle, when
+	// positive, enables opportunistic drains: a read arriving after the
+	// data bus has been idle for at least WQIdle cycles first retires
+	// any queued writes that finish (burst plus turnaround) before the
+	// read's arrival, so free bus time absorbs write traffic without
+	// ever delaying a read. Both default to off, preserving the
+	// drain-everything-at-threshold behaviour.
+	WQLow  int
+	WQIdle int64
 
 	Mapping   Mapping
 	Scheduler Scheduler
@@ -236,6 +248,12 @@ func NewSDRAM(cfg Config) *SDRAM {
 	if cfg.WQDepth < 0 || cfg.WQDrain < 0 || cfg.WQDrain > cfg.WQDepth {
 		panic("dram: write queue needs 0 < drain threshold <= depth")
 	}
+	if cfg.WQLow != 0 && (cfg.WQLow < 0 || cfg.WQLow >= cfg.WQDrain) {
+		panic("dram: write-queue low watermark needs 0 <= low < drain threshold")
+	}
+	if cfg.WQIdle < 0 {
+		panic("dram: write-queue idle-drain gap must not be negative")
+	}
 	if cfg.TREFI > 0 && cfg.TRFC >= cfg.TREFI {
 		panic("dram: refresh duration must be shorter than the refresh interval")
 	}
@@ -271,6 +289,10 @@ func (s *SDRAM) Stats() *Stats { return &s.st }
 
 // LineBytes implements Backend.
 func (s *SDRAM) LineBytes() int { return s.cfg.LineBytes }
+
+// MinReadLatency implements Backend: even a row hit on an idle bank
+// pays the column access and the data burst.
+func (s *SDRAM) MinReadLatency() int64 { return s.cfg.TCAS + s.cfg.TBurst }
 
 // Config returns the controller's configuration.
 func (s *SDRAM) Config() Config { return s.cfg }
@@ -365,6 +387,11 @@ func (s *SDRAM) burst(c *channel, ready int64, write bool) int64 {
 	if c.busWrite != write {
 		busReady += s.cfg.TTurn
 	}
+	if !write && c.busWrite && busReady > ready {
+		// The read's data sat ready while the bus finished a write
+		// burst (plus the turnaround): write-induced read latency.
+		s.st.WriteReadStall += uint64(busReady - ready)
+	}
 	dataStart := max(ready, busReady)
 	done := dataStart + s.cfg.TBurst
 	c.busFree = done
@@ -453,6 +480,7 @@ func (s *SDRAM) admitRead(c *channel, t0 int64) int64 {
 func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64) int64 {
 	c := &s.chans[ch]
 	arrival := s.admitRead(c, t0)
+	s.opportunisticDrain(ch, bi, arrival)
 	// Bank-level parallelism: banks already busy at arrival, across the
 	// whole part.
 	for ci := range s.chans {
@@ -468,18 +496,25 @@ func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64) int64 {
 	return done
 }
 
-// drainWrites empties the channel's write queue starting no earlier
-// than cycle t, bursting each write through its bank in queue order.
-// Reads keep priority by construction: a batch's reads are scheduled
-// before its writes enqueue, so drains only delay later traffic through
-// bank and bus occupancy.
-func (s *SDRAM) drainWrites(ci int, t int64) {
+// drainWrites retires the channel's queued writes oldest-first starting
+// no earlier than cycle t, stopping when `keep` remain (0 empties the
+// queue; the low-watermark policy passes cfg.WQLow so a threshold
+// crossing only sheds the queue's head instead of serializing a full
+// flush in front of the next reads). Reads keep priority by
+// construction: a batch's reads are scheduled before its writes
+// enqueue, so drains only delay later traffic through bank and bus
+// occupancy.
+func (s *SDRAM) drainWrites(ci int, t int64, keep int) {
 	c := &s.chans[ci]
-	if len(c.writeQ) == 0 {
+	if len(c.writeQ) <= keep {
 		return
 	}
 	s.st.WriteDrains++
-	for _, w := range c.writeQ {
+	if keep > 0 {
+		s.st.PartialDrains++
+	}
+	n := len(c.writeQ) - keep
+	for _, w := range c.writeQ[:n] {
 		_, bi, row := s.decode(w.Addr)
 		done := s.service(c, bi, row, max(t, w.At), true)
 		// The drain's bus time must stay inside the bandwidth window,
@@ -488,12 +523,72 @@ func (s *SDRAM) drainWrites(ci int, t int64) {
 			s.st.LastDone = done
 		}
 	}
-	c.writeQ = c.writeQ[:0]
+	c.writeQ = append(c.writeQ[:0], c.writeQ[n:]...)
+}
+
+// peekRowLatency is rowLatency without the statistics side effects,
+// used to estimate a write's service time before committing to it.
+func (s *SDRAM) peekRowLatency(bk *bank, row int64) int64 {
+	switch {
+	case bk.open && bk.openRow == row:
+		return 0
+	case !bk.open:
+		return s.cfg.TRCD
+	default:
+		return s.cfg.TRP + s.cfg.TRCD
+	}
+}
+
+// opportunisticDrain retires queued writes on a bus that has sat idle
+// for at least WQIdle cycles before a read arriving at `arrival`, but
+// only writes that cannot take the read's service slot: a write to the
+// read's own bank is never drained here (it would disturb the bank's
+// row buffer and turn the read's row hit into a conflict), and every
+// drained write's data burst plus the turnaround back to reads must be
+// estimated to complete by the arrival (a refresh epoch landing
+// between the estimate and the service can still nudge it; that is the
+// same exposure the threshold drain accepts). Writes retire
+// oldest-first and the scan stops at the first write that does not
+// fit, keeping queue order intact.
+func (s *SDRAM) opportunisticDrain(ci int, readBank int, arrival int64) {
+	c := &s.chans[ci]
+	if s.cfg.WQIdle <= 0 || len(c.writeQ) == 0 || c.busFree+s.cfg.WQIdle > arrival {
+		return
+	}
+	kept := c.writeQ[:0]
+	for i, w := range c.writeQ {
+		_, bi, row := s.decode(w.Addr)
+		if bi == readBank {
+			kept = append(kept, c.writeQ[i:]...)
+			break
+		}
+		bk := &c.banks[bi]
+		colStart := max(w.At, bk.freeAt)
+		if s.cfg.Scheduler == FCFS {
+			colStart = max(colStart, c.cmdFree)
+		}
+		colIssue := colStart + s.peekRowLatency(bk, row)
+		busReady := c.busFree
+		if !c.busWrite { // switching read→write pays the turnaround
+			busReady += s.cfg.TTurn
+		}
+		dataStart := max(colIssue+s.cfg.TCAS, busReady)
+		if dataStart+s.cfg.TBurst+s.cfg.TTurn > arrival {
+			kept = append(kept, c.writeQ[i:]...)
+			break
+		}
+		done := s.service(c, bi, row, w.At, true)
+		if done > s.st.LastDone {
+			s.st.LastDone = done
+		}
+		s.st.OppDrains++
+	}
+	c.writeQ = kept
 }
 
 // postWrite absorbs one write into the channel's write queue and
-// returns its acceptance cycle. Crossing the drain threshold flushes
-// the whole queue.
+// returns its acceptance cycle. Crossing the drain threshold retires
+// writes down to the low watermark (the whole queue when WQLow is 0).
 func (s *SDRAM) postWrite(ci int, w Request) int64 {
 	c := &s.chans[ci]
 	ack := w.At + 1 // posted: the queue accepts it next cycle
@@ -501,7 +596,7 @@ func (s *SDRAM) postWrite(ci int, w Request) int64 {
 	s.st.Writes++
 	s.st.observe(w.At, ack, s.cfg.LineBytes)
 	if len(c.writeQ) >= s.cfg.WQDrain {
-		s.drainWrites(ci, ack)
+		s.drainWrites(ci, ack, s.cfg.WQLow)
 	}
 	return ack
 }
@@ -534,7 +629,7 @@ func (s *SDRAM) Submit(batch []Request) []Completion {
 	for i, r := range batch {
 		ch, bk, row := s.decode(r.Addr)
 		s.dec = append(s.dec, decoded{ch: ch, bk: bk, row: row})
-		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch}
+		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch, ID: r.ID}
 		if r.Write {
 			s.wOrder = append(s.wOrder, i)
 		} else {
@@ -596,6 +691,6 @@ func (s *SDRAM) Access(addr uint64, t0 int64) int64 { return Access(s, addr, t0)
 // cycle, so end-of-run statistics account for all posted traffic.
 func (s *SDRAM) Flush() {
 	for ci := range s.chans {
-		s.drainWrites(ci, s.chans[ci].busFree)
+		s.drainWrites(ci, s.chans[ci].busFree, 0)
 	}
 }

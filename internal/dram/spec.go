@@ -57,10 +57,17 @@ func (p Preset) Config() Config {
 
 // Knobs are the controller overrides the CLIs and spec strings expose
 // on top of a preset; zero values mean "keep the preset's setting".
+// MSHRs is the odd one out: it sizes the vmem-level MSHR file, not the
+// controller, so spec strings can key whole non-blocking configurations
+// — BuildOpts validates it but callers thread it into vmem.Timing
+// themselves (ParseSpecFull returns the parsed knobs for that).
 type Knobs struct {
-	Channels int // -dchan / "<n>ch": channel count (power of two)
-	WQDrain  int // -dwq / "wq<n>": write-queue drain threshold
-	Window   int // -dwin / "win<n>": FR-FCFS reorder window
+	Channels int   // -dchan / "<n>ch": channel count (power of two)
+	WQDrain  int   // -dwq / "wq<n>": write-queue drain threshold
+	Window   int   // -dwin / "win<n>": FR-FCFS reorder window
+	WQLow    int   // -dwql / "wql<n>": partial-drain low watermark
+	WQIdle   int64 // -dwqi / "wqi<n>": idle-bus opportunistic-drain gap
+	MSHRs    int   // -mshr / "mshr<n>": vmem MSHR file size (1 = blocking)
 }
 
 func (k Knobs) apply(cfg Config) Config {
@@ -75,6 +82,12 @@ func (k Knobs) apply(cfg Config) Config {
 	}
 	if k.Window > 0 {
 		cfg.ReorderWindow = k.Window
+	}
+	if k.WQLow > 0 {
+		cfg.WQLow = k.WQLow
+	}
+	if k.WQIdle > 0 {
+		cfg.WQIdle = k.WQIdle
 	}
 	return cfg
 }
@@ -112,9 +125,10 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 			return nil, err
 		}
 	}
-	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 {
-		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d)",
-			knobs.Channels, knobs.WQDrain, knobs.Window)
+	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 ||
+		knobs.WQLow < 0 || knobs.WQIdle < 0 || knobs.MSHRs < 0 {
+		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d)",
+			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs)
 	}
 	switch kind {
 	case "fixed":
@@ -125,6 +139,9 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 		if cfg.Channels <= 0 || cfg.Channels&(cfg.Channels-1) != 0 {
 			return nil, fmt.Errorf("channel count %d not a power of two", cfg.Channels)
 		}
+		if cfg.WQLow != 0 && cfg.WQLow >= cfg.WQDrain {
+			return nil, fmt.Errorf("write-queue low watermark %d must be below the drain threshold %d", cfg.WQLow, cfg.WQDrain)
+		}
 		return NewSDRAM(cfg), nil
 	}
 	return nil, fmt.Errorf("unknown dram backend %q (fixed, sdram)", kind)
@@ -132,13 +149,15 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 
 // ValidateFlagCombo rejects explicitly-set command-line knobs that the
 // selected backend kind would silently ignore: the sdram-only knobs
-// (-dmap/-dsched/-dprof/-dchan/-dwq/-dwin) only take effect on the
-// sdram backend, -mlat only on the fixed backend. Both simulator
-// binaries share this policy so their CLI contracts agree.
+// (-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin) only take
+// effect on the sdram backend, -mlat only on the fixed backend. -mshr
+// is deliberately absent: the MSHR file sits above the backend and
+// applies to every kind. Both simulator binaries share this policy so
+// their CLI contracts agree.
 func ValidateFlagCombo(kind string, sdramKnobSet, mlatSet bool) error {
 	kind = strings.ToLower(kind)
 	if sdramKnobSet && kind != "sdram" {
-		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwin require -dram sdram")
+		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin require -dram sdram")
 	}
 	if mlatSet && kind == "sdram" {
 		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
@@ -155,31 +174,43 @@ func FormatSpec(kind, mapping, sched string) string {
 }
 
 // FormatSpecOpts renders the full
-// "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/win<n>]" form;
-// zero-valued knobs and an empty profile are omitted.
+// "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/wql<n>]
+// [/wqi<n>][/win<n>][/mshr<n>]" form; zero-valued knobs and an empty
+// profile are omitted. The mshr knob survives on the fixed kind too —
+// it configures the vmem layer, not the controller.
 func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	kind = strings.ToLower(kind)
-	if kind != "sdram" {
-		return kind
+	s := kind
+	if kind == "sdram" {
+		s += "/" + strings.ToLower(mapping) + "/" + strings.ToLower(sched)
+		if prof != "" {
+			s += "/" + strings.ToLower(prof)
+		}
+		if knobs.Channels > 0 {
+			s += fmt.Sprintf("/%dch", knobs.Channels)
+		}
+		if knobs.WQDrain > 0 {
+			s += fmt.Sprintf("/wq%d", knobs.WQDrain)
+		}
+		if knobs.WQLow > 0 {
+			s += fmt.Sprintf("/wql%d", knobs.WQLow)
+		}
+		if knobs.WQIdle > 0 {
+			s += fmt.Sprintf("/wqi%d", knobs.WQIdle)
+		}
+		if knobs.Window > 0 {
+			s += fmt.Sprintf("/win%d", knobs.Window)
+		}
 	}
-	s := kind + "/" + strings.ToLower(mapping) + "/" + strings.ToLower(sched)
-	if prof != "" {
-		s += "/" + strings.ToLower(prof)
-	}
-	if knobs.Channels > 0 {
-		s += fmt.Sprintf("/%dch", knobs.Channels)
-	}
-	if knobs.WQDrain > 0 {
-		s += fmt.Sprintf("/wq%d", knobs.WQDrain)
-	}
-	if knobs.Window > 0 {
-		s += fmt.Sprintf("/win%d", knobs.Window)
+	if knobs.MSHRs > 0 {
+		s += fmt.Sprintf("/mshr%d", knobs.MSHRs)
 	}
 	return s
 }
 
 // parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
-// "win<n>".
+// "wql<n>", "wqi<n>", "win<n>", "mshr<n>". Longer prefixes are tried
+// first so "wql2" never half-matches "wq".
 func parseKnob(tok string, k *Knobs) bool {
 	if n, ok := strings.CutSuffix(tok, "ch"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v > 0 {
@@ -188,31 +219,47 @@ func parseKnob(tok string, k *Knobs) bool {
 		}
 		return false
 	}
-	if n, ok := strings.CutPrefix(tok, "wq"); ok {
-		if v, err := strconv.Atoi(n); err == nil && v > 0 {
-			k.WQDrain = v
-			return true
+	for _, p := range []struct {
+		prefix string
+		dst    func(int)
+	}{
+		{"mshr", func(v int) { k.MSHRs = v }},
+		{"wql", func(v int) { k.WQLow = v }},
+		{"wqi", func(v int) { k.WQIdle = int64(v) }},
+		{"wq", func(v int) { k.WQDrain = v }},
+		{"win", func(v int) { k.Window = v }},
+	} {
+		if n, ok := strings.CutPrefix(tok, p.prefix); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > 0 {
+				p.dst(v)
+				return true
+			}
+			return false
 		}
-		return false
-	}
-	if n, ok := strings.CutPrefix(tok, "win"); ok {
-		if v, err := strconv.Atoi(n); err == nil && v > 0 {
-			k.Window = v
-			return true
-		}
-		return false
 	}
 	return false
 }
 
-// ParseSpec builds a backend from a spec string:
+// ParseSpec builds a backend from a spec string; ParseSpecFull also
+// returns the parsed knobs so callers can pick up the vmem-level mshr
+// setting the backend itself does not consume.
+func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
+	b, _, err := ParseSpecFull(spec, fixedLatency)
+	return b, err
+}
+
+// ParseSpecFull builds a backend from a spec string:
 //
-//	fixed
-//	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/win<n>]
+//	fixed[/mshr<n>]
+//	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/wql<n>]
+//	     [/wqi<n>][/win<n>][/mshr<n>]
 //
 // Omitted sdram fields default to line/frfcfs/ddr; knob segments may
-// appear anywhere after the kind.
-func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
+// appear anywhere after the kind. Every segment must parse: an
+// unrecognized or misspelled token (say "msrh8") is an error, never
+// silently dropped, and controller segments on the fixed kind are
+// rejected rather than ignored.
+func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 	parts := strings.Split(spec, "/")
 	kind := strings.ToLower(parts[0])
 	mapping, sched, prof := "", "", ""
@@ -222,17 +269,39 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 		if parseKnob(tok, &knobs) {
 			continue
 		}
+		// Positional fields are validated in place so a typo'd token is
+		// diagnosed against everything a spec may contain, not just the
+		// slot it happened to land in.
+		var err error
 		switch pos {
 		case 0:
+			_, err = ParseMapping(tok)
 			mapping = tok
 		case 1:
+			_, err = ParseScheduler(tok)
 			sched = tok
 		case 2:
+			_, err = ParsePreset(tok)
 			prof = tok
 		default:
-			return nil, fmt.Errorf("unexpected spec segment %q in %q", tok, spec)
+			err = fmt.Errorf("all positional fields already set")
+		}
+		if err != nil {
+			return nil, Knobs{}, fmt.Errorf(
+				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> mshr<n>)",
+				tok, spec)
 		}
 		pos++
+	}
+	if kind != "sdram" {
+		// Everything but the vmem-level mshr knob configures the banked
+		// controller and would be dead weight on other kinds.
+		ctrl := knobs
+		ctrl.MSHRs = 0
+		if pos > 0 || ctrl != (Knobs{}) {
+			return nil, Knobs{}, fmt.Errorf(
+				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n> is allowed anywhere)", spec)
+		}
 	}
 	if kind == "sdram" {
 		if mapping == "" {
@@ -242,5 +311,9 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 			sched = "frfcfs"
 		}
 	}
-	return BuildOpts(kind, mapping, sched, prof, knobs, fixedLatency)
+	b, err := BuildOpts(kind, mapping, sched, prof, knobs, fixedLatency)
+	if err != nil {
+		return nil, Knobs{}, err
+	}
+	return b, knobs, nil
 }

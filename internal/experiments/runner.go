@@ -34,7 +34,8 @@ type SimResult struct {
 	ScalarL2 uint64
 	Activity uint64 // total L2 accesses (Table 4)
 	Trace    *trace.Stats
-	DRAM     dram.Stats // zero-valued under the flat model
+	DRAM     dram.Stats     // zero-valued under the flat model
+	MSHR     vmem.MSHRStats // zero-valued under the blocking model
 }
 
 // Cycles is shorthand for the simulated execution time.
@@ -106,7 +107,13 @@ func (r *Runner) traceFor(bench string, v kernels.Variant) *tracePair {
 	}
 	bm, ok := r.benches[bench]
 	if !ok {
-		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+		// Workloads outside the paper's five-benchmark presentation
+		// order (the MSHR sweep's motionsearch stream) resolve from the
+		// extended registry on demand without joining Benchmarks().
+		if bm, ok = kernels.ByName(bench); !ok {
+			panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+		}
+		r.benches[bench] = bm
 	}
 	tr := &trace.Trace{}
 	st := trace.NewStats()
@@ -136,12 +143,14 @@ func (r *Runner) Sim(bench string, v kernels.Variant, mem core.MemKind, l2lat in
 const flatMemLatency = 100
 
 // buildBackend constructs a fresh backend from a spec string; each
-// simulation needs its own because backends are stateful.
-func buildBackend(spec string) (dram.Backend, error) {
+// simulation needs its own because backends are stateful. The returned
+// knobs carry the vmem-level mshr<n> setting the backend itself does
+// not consume.
+func buildBackend(spec string) (dram.Backend, dram.Knobs, error) {
 	if spec == "" {
-		return nil, nil
+		return nil, dram.Knobs{}, nil
 	}
-	return dram.ParseSpec(spec, flatMemLatency)
+	return dram.ParseSpecFull(spec, flatMemLatency)
 }
 
 // SimDRAM runs (or recalls) one simulation over an explicit DRAM
@@ -154,13 +163,13 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	if r.Progress != nil {
 		r.Progress(key)
 	}
-	backend, err := buildBackend(spec)
+	backend, knobs, err := buildBackend(spec)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	tp := r.traceFor(bench, v)
 	cfg := coreConfigFor(v)
-	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend}
+	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend, MSHRs: knobs.MSHRs}
 	// In the MMX configuration the "multi-banked" realistic memory banks
 	// the L1 data cache ports (there is no vector subsystem to bank).
 	bankL1 := v == kernels.MMX && mem != core.MemIdeal
@@ -181,6 +190,9 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 			sd.Flush()
 		}
 		res.DRAM = *backend.Stats()
+	}
+	if f := ms.MSHR(); f != nil {
+		res.MSHR = *f.Stats()
 	}
 	r.results[key] = res
 	return res

@@ -97,9 +97,18 @@ func All() []Benchmark {
 	}
 }
 
+// Extended returns the paper's five benchmarks plus the repository's
+// own workloads — currently the HD-frame motionsearch stream, whose
+// working set outgrows the 2MB L2 and exercises the DRAM path at full
+// size. The paper-reproduction figures iterate All; the CLIs resolve
+// names against Extended.
+func Extended() []Benchmark {
+	return append(All(), MotionSearch(DefaultMotionSearchConfig()))
+}
+
 // ByName finds a default-size benchmark by name.
 func ByName(name string) (Benchmark, bool) {
-	for _, bm := range All() {
+	for _, bm := range Extended() {
 		if bm.Name == name {
 			return bm, true
 		}

@@ -8,7 +8,8 @@ import (
 	"repro/internal/trace"
 )
 
-// small returns test-scale versions of all five benchmarks.
+// small returns test-scale versions of all five paper benchmarks plus
+// the HD motionsearch stream.
 func small() []Benchmark {
 	return []Benchmark{
 		JPEGEncode(SmallJPEGEncConfig()),
@@ -16,6 +17,7 @@ func small() []Benchmark {
 		MPEG2Decode(SmallMPEG2DecConfig()),
 		MPEG2Encode(SmallMPEG2EncConfig()),
 		GSMEncode(SmallGSMEncConfig()),
+		MotionSearch(SmallMotionSearchConfig()),
 	}
 }
 
@@ -91,7 +93,7 @@ func TestTraceShapes(t *testing.T) {
 				t.Errorf("%s: MOM3D vector memory instructions (%d) not below MOM (%d)",
 					bm.Name, m3d.VecMemInsts, mom.VecMemInsts)
 			}
-			if bm.Name == "mpeg2encode" || bm.Name == "gsmencode" {
+			if bm.Name == "mpeg2encode" || bm.Name == "gsmencode" || bm.Name == "motionsearch" {
 				if m3d.MemBytes >= mom.MemBytes {
 					t.Errorf("%s: overlapping streams must cut bytes (%d vs %d)",
 						bm.Name, m3d.MemBytes, mom.MemBytes)
@@ -215,8 +217,16 @@ func TestAllRegistry(t *testing.T) {
 			t.Errorf("missing benchmark %q", want)
 		}
 	}
+	// The paper suite stays exactly the paper's five; the extra
+	// workloads only join the extended registry the CLIs resolve.
+	if names["motionsearch"] {
+		t.Error("motionsearch must not join the paper's five-benchmark suite")
+	}
 	if _, ok := ByName("mpeg2encode"); !ok {
 		t.Error("ByName failed")
+	}
+	if bm, ok := ByName("motionsearch"); !ok || bm.Name != "motionsearch" {
+		t.Error("ByName must resolve the extended suite")
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Error("ByName found a ghost")

@@ -1,0 +1,421 @@
+package vmem
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// This file implements the non-blocking side of the vector memory
+// pipeline: a file of miss-status holding registers (MSHRs) that
+// decouples instruction issue from memory completion.
+//
+// Under the blocking model every Issue call submitted its own miss
+// batch to the main memory and returned a final completion time, so
+// the controller only ever saw one instruction's parallelism. With an
+// MSHR file, Issue registers its line misses and returns immediately
+// with a Pending handle; the underlying dram.Backend.Submit happens
+// lazily, so one batch spans every instruction that issued since the
+// last flush — the inter-instruction memory parallelism the FR-FCFS
+// reorder window needs to convert latency into bandwidth.
+//
+// Lazy submission is sound because the timing backends are
+// arrival-stamped, not call-stamped: every dram.Request carries its At
+// cycle and the controller never services a request before it, so
+// submitting late never changes a request's timing — it only widens
+// the window the scheduler may reorder over. Three events force a
+// flush: an allocation finding the file full (the MSHR-full stall), a
+// consumer needing a completion time that the conservative lower bound
+// can no longer rule out, and the end-of-run drain.
+//
+// A file of size 1 runs in blocking mode: every Register flushes
+// immediately and returns an already-resolved handle, reproducing the
+// blocking model's Submit call sequence — and therefore its cycle
+// counts — bit for bit. That equivalence is the refactor's safety net
+// and is asserted over the full benchmark suite in internal/core.
+
+// MSHRStats counts the file's activity. MLP and batch spans are the
+// headline metrics: how many line misses were outstanding when a new
+// one registered, and how many instructions each Submit batch covered.
+type MSHRStats struct {
+	Allocs     uint64 // primary misses: a new line entered the file
+	Merges     uint64 // secondary misses folded into an in-flight line
+	Writebacks uint64 // posted write-backs riding the pending batch
+
+	Flushes     uint64 // Submit calls issued by the file
+	FlushedReqs uint64 // requests submitted across all flushes
+	SpanSum     uint64 // instructions contributing to each flush, summed
+	SpanMax     int    // widest instruction span of any single flush
+
+	FullStalls  uint64 // allocations that found every MSHR occupied
+	StallCycles uint64 // cycles allocations waited for an MSHR to free
+
+	OccSum uint64 // outstanding (unresolved) entries sampled per alloc
+	OccMax int    // high-water mark of outstanding entries
+}
+
+// MLP is the mean number of line misses outstanding when a new miss
+// allocates — the memory-level parallelism the pipeline exposes.
+func (s *MSHRStats) MLP() float64 {
+	if s.Allocs == 0 {
+		return 0
+	}
+	return float64(s.OccSum) / float64(s.Allocs)
+}
+
+// AvgBatch is the mean Submit batch size.
+func (s *MSHRStats) AvgBatch() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.FlushedReqs) / float64(s.Flushes)
+}
+
+// AvgSpan is the mean number of instructions contributing requests to
+// one Submit batch; above 1 the controller is seeing cross-instruction
+// parallelism the blocking model never showed it.
+func (s *MSHRStats) AvgSpan() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.SpanSum) / float64(s.Flushes)
+}
+
+// mshrEntry tracks one outstanding L2 line miss. Handles hold pointers
+// to entries, so an entry struct is never recycled; the file merely
+// drops freed entries from its live set.
+type mshrEntry struct {
+	line     uint64
+	id       uint64
+	at       int64 // arrival of the primary miss (after any full-stall)
+	done     int64 // valid once resolved
+	resolved bool
+}
+
+// MSHRFile is the miss-status holding register file shared by the
+// vector subsystems and the scalar miss path. It is not safe for
+// concurrent use, matching the rest of the simulator.
+type MSHRFile struct {
+	tim      Timing
+	cap      int
+	blocking bool
+	lineMask uint64
+	minLat   int64 // lower bound on any read's Done-At
+
+	entries  []*mshrEntry          // live entries, allocation order
+	byLine   map[uint64]*mshrEntry // live entries keyed by line address
+	pending  []dram.Request        // registered but not yet submitted
+	pendByID map[uint64]*mshrEntry // pending read IDs → their entries
+	nextID   uint64
+	span     int // instructions contributing to the pending batch
+	flushGen int // flush generation, for span tracking across mid-instruction flushes
+
+	st MSHRStats
+}
+
+// NewMSHRFile builds a file of n MSHRs over the Timing's main memory
+// (its Backend, or the flat MemLatency model when Backend is nil).
+// n <= 1 selects blocking mode. The tim.MSHR field of the argument is
+// ignored; the file is the thing that field points at.
+func NewMSHRFile(tim Timing, n int) *MSHRFile {
+	tim.MSHR = nil
+	lineBytes := cache.L2LineBytes
+	minLat := tim.MemLatency
+	if tim.Backend != nil {
+		lineBytes = tim.Backend.LineBytes()
+		minLat = tim.Backend.MinReadLatency()
+	}
+	if minLat < 1 {
+		minLat = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &MSHRFile{
+		tim:      tim,
+		cap:      n,
+		blocking: n <= 1,
+		lineMask: uint64(lineBytes - 1),
+		minLat:   minLat,
+		byLine:   map[uint64]*mshrEntry{},
+		pendByID: map[uint64]*mshrEntry{},
+		nextID:   1, // 0 tags write-backs, which never resolve an entry
+	}
+}
+
+// Cap is the file's MSHR count.
+func (f *MSHRFile) Cap() int { return f.cap }
+
+// Blocking reports whether the file runs in the bit-exact blocking
+// compatibility mode (a single MSHR).
+func (f *MSHRFile) Blocking() bool { return f.blocking }
+
+// Stats exposes the accumulated counters.
+func (f *MSHRFile) Stats() *MSHRStats { return &f.st }
+
+// Outstanding is the number of unresolved line misses in the file.
+func (f *MSHRFile) Outstanding() int {
+	n := 0
+	for _, e := range f.entries {
+		if !e.resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// free drops entries whose fill has completed by cycle t.
+func (f *MSHRFile) free(t int64) {
+	live := f.entries[:0]
+	for _, e := range f.entries {
+		if e.resolved && e.done <= t {
+			delete(f.byLine, e.line)
+			continue
+		}
+		live = append(live, e)
+	}
+	f.entries = live
+}
+
+// flush submits everything pending as one batch and resolves the
+// entries the completions belong to (matched by request ID — the
+// scheduler reorders the batch, so positional matching would lie).
+func (f *MSHRFile) flush() {
+	if len(f.pending) == 0 {
+		return
+	}
+	f.st.Flushes++
+	f.st.FlushedReqs += uint64(len(f.pending))
+	f.st.SpanSum += uint64(f.span)
+	if f.span > f.st.SpanMax {
+		f.st.SpanMax = f.span
+	}
+	if f.tim.Backend != nil {
+		for _, c := range f.tim.Backend.Submit(f.pending) {
+			if c.Write {
+				continue
+			}
+			if e := f.pendByID[c.ID]; e != nil {
+				e.done, e.resolved = c.Done, true
+			}
+		}
+	} else {
+		// The seed's flat model: every read costs MemLatency, posted
+		// write-backs are free.
+		for _, r := range f.pending {
+			if r.Write {
+				continue
+			}
+			if e := f.pendByID[r.ID]; e != nil {
+				e.done, e.resolved = r.At+f.tim.MemLatency, true
+			}
+		}
+	}
+	f.pending = f.pending[:0]
+	clear(f.pendByID)
+	f.span = 0
+	f.flushGen++
+}
+
+// allocate finds room for a new primary miss arriving at cycle at,
+// flushing and then waiting on the oldest fill when the file is full,
+// and returns the entry and its (possibly stalled) arrival cycle.
+func (f *MSHRFile) allocate(addr uint64, at int64) (*mshrEntry, int64) {
+	f.free(at)
+	if len(f.entries) >= f.cap {
+		f.st.FullStalls++
+		// Resolving the pending batch is the only way to learn when an
+		// MSHR frees; the stall then waits for the earliest fill.
+		f.flush()
+		f.free(at)
+		for len(f.entries) >= f.cap {
+			tFree := f.entries[0].done
+			for _, e := range f.entries[1:] {
+				if e.done < tFree {
+					tFree = e.done
+				}
+			}
+			if tFree > at {
+				f.st.StallCycles += uint64(tFree - at)
+				at = tFree
+			}
+			f.free(at)
+		}
+	}
+	e := &mshrEntry{line: addr &^ f.lineMask, id: f.nextID, at: at}
+	f.nextID++
+	f.entries = append(f.entries, e)
+	f.byLine[e.line] = e
+	f.st.Allocs++
+	occ := f.Outstanding() // already counts the just-appended entry
+	f.st.OccSum += uint64(occ)
+	if occ > f.st.OccMax {
+		f.st.OccMax = occ
+	}
+	return e, at
+}
+
+// Register files one instruction's miss batch — line-fill reads and
+// posted write-backs, as built by the vmem subsystems — and returns
+// the instruction's pending-completion handle. occDone is the
+// completion cycle of the instruction's port/bank occupancy and cache
+// hits; the handle's Done folds it in. Secondary misses to a line
+// already in flight merge into its entry instead of re-submitting the
+// line. In blocking mode the batch is submitted immediately and the
+// returned handle is already resolved.
+func (f *MSHRFile) Register(batch []dram.Request, occDone int64) *Pending {
+	p := &Pending{file: f, base: occDone}
+	if f.blocking {
+		// Blocking mode files the whole instruction atomically, submits
+		// it at once and leaves nothing live between instructions —
+		// never merging, so the Submit call sequence is exactly the
+		// blocking model's.
+		for _, r := range batch {
+			if r.Write {
+				r.ID = 0
+				f.pending = append(f.pending, r)
+				f.st.Writebacks++
+				continue
+			}
+			e := &mshrEntry{line: r.Addr &^ f.lineMask, id: f.nextID, at: r.At}
+			f.nextID++
+			f.st.Allocs++
+			r.ID = e.id
+			f.pending = append(f.pending, r)
+			f.pendByID[e.id] = e
+			p.entries = append(p.entries, e)
+		}
+		if len(f.pending) > 0 {
+			f.span = 1
+			f.flush()
+		}
+		p.force()
+		return p
+	}
+	// One instruction counts once toward each flush batch it feeds: a
+	// mid-instruction flush (MSHR full) starts a new batch, which the
+	// rest of the instruction's requests then join.
+	gen := -1
+	contribute := func() {
+		if gen != f.flushGen {
+			f.span++
+			gen = f.flushGen
+		}
+	}
+	for _, r := range batch {
+		if r.Write {
+			r.ID = 0
+			f.pending = append(f.pending, r)
+			f.st.Writebacks++
+			contribute()
+			continue
+		}
+		line := r.Addr &^ f.lineMask
+		if e := f.byLine[line]; e != nil && (!e.resolved || e.done > r.At) {
+			// Secondary miss: the line's fill is already in flight (or
+			// has a known future completion); wait on it, do not
+			// re-request the line.
+			f.st.Merges++
+			p.entries = append(p.entries, e)
+			continue
+		}
+		e, at := f.allocate(r.Addr, r.At)
+		r.At, r.ID = at, e.id
+		f.pending = append(f.pending, r)
+		f.pendByID[e.id] = e
+		p.entries = append(p.entries, e)
+		contribute()
+	}
+	return p
+}
+
+// Drain flushes anything still pending; callers then read final
+// completion times off their handles' Done.
+func (f *MSHRFile) Drain() { f.flush() }
+
+// Pending is the completion handle of one instruction's outstanding
+// misses: the issue side returns it, the scoreboard queries it.
+type Pending struct {
+	file     *MSHRFile
+	entries  []*mshrEntry
+	base     int64
+	resolved bool
+	done     int64
+}
+
+// force resolves the handle from its entries, which must all be
+// resolved (true after any flush).
+func (p *Pending) force() int64 {
+	done := p.base
+	for _, e := range p.entries {
+		if e.done > done {
+			done = e.done
+		}
+	}
+	p.resolved, p.done = true, done
+	return done
+}
+
+// Settled reports whether the completion is already known and has
+// passed, using only resolved state — it never forces a flush, so it
+// is safe to poll every cycle without perturbing batch accumulation.
+func (p *Pending) Settled(now int64) bool {
+	if p == nil {
+		return true
+	}
+	if !p.resolved {
+		for _, e := range p.entries {
+			if !e.resolved {
+				return false
+			}
+		}
+		p.force()
+	}
+	return p.done <= now
+}
+
+// ReadyBy reports whether the memory completion is <= now, resolving
+// lazily: while the conservative lower bound (each unresolved miss
+// costs at least the backend's minimum read latency) still exceeds
+// now, it answers false without scheduling anything; once the bound is
+// reached it flushes the file and compares the exact time.
+func (p *Pending) ReadyBy(now int64) bool {
+	if p == nil {
+		return true
+	}
+	if p.resolved {
+		return p.done <= now
+	}
+	lb := p.base
+	unresolved := false
+	for _, e := range p.entries {
+		t := e.done
+		if !e.resolved {
+			unresolved = true
+			t = e.at + p.file.minLat
+		}
+		if t > lb {
+			lb = t
+		}
+	}
+	if !unresolved {
+		p.force()
+		return p.done <= now
+	}
+	if now < lb {
+		return false
+	}
+	p.file.flush()
+	return p.force() <= now
+}
+
+// Done forces resolution and returns the exact completion cycle.
+func (p *Pending) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	if !p.resolved {
+		p.file.flush()
+		p.force()
+	}
+	return p.done
+}

@@ -7,9 +7,14 @@
 //
 // Each subsystem schedules the element accesses of one vector memory
 // instruction against its port/bank resources and the shared L2 cache
-// model, returning the cycle at which the instruction's last element
-// arrives. Resource state persists across instructions, so back-to-back
-// vector memory operations contend realistically.
+// model. Issue and completion are split: Issue returns the cycle the
+// instruction's port/bank occupancy and cache hits finish plus a
+// Pending handle for any outstanding line misses, which register in the
+// shared MSHR file (mshr.go) so main-memory batches span several
+// in-flight instructions. Without an MSHR file the subsystems fall back
+// to the blocking model and Issue's cycle is final. Resource state
+// persists across instructions, so back-to-back vector memory
+// operations contend realistically.
 package vmem
 
 import (
@@ -30,6 +35,20 @@ type Timing struct {
 	// Submit them together, so the controller sees the instruction's
 	// whole memory parallelism at once.
 	Backend dram.Backend
+
+	// MSHRs requests a non-blocking miss pipeline: core.NewMemSystem
+	// builds an MSHR file of this size and wires it into MSHR. 0 keeps
+	// the legacy blocking path (no file at all); 1 routes through the
+	// file in its bit-exact blocking mode — the equivalence net; >= 2
+	// decouples issue from completion.
+	MSHRs int
+
+	// MSHR is the miss-status holding register file shared by the
+	// vector subsystems and the scalar miss path. When nil, every
+	// instruction's batch is submitted synchronously (the blocking
+	// model); when set, batches register in the file and completion is
+	// read off the returned Pending handles.
+	MSHR *MSHRFile
 }
 
 // DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
@@ -77,6 +96,27 @@ func (tm Timing) SubmitMisses(batch []dram.Request, t0 int64) int64 {
 	return done
 }
 
+// Complete finishes one instruction's miss batch under the configured
+// miss pipeline: with no MSHR file the batch is submitted synchronously
+// and the final completion returned (the blocking model); with a file
+// the batch registers and the caller receives a Pending handle — nil
+// when the completion is already final (blocking-mode file, or nothing
+// missed). occDone is the completion of the instruction's port/bank
+// occupancy and cache hits.
+func (tm Timing) Complete(batch []dram.Request, occDone int64) (int64, *Pending) {
+	if tm.MSHR == nil {
+		return tm.SubmitMisses(batch, occDone), nil
+	}
+	if len(batch) == 0 {
+		return occDone, nil
+	}
+	p := tm.MSHR.Register(batch, occDone)
+	if tm.MSHR.Blocking() {
+		return p.Done(), nil
+	}
+	return occDone, p
+}
+
 // Stats aggregates a subsystem's activity. "Accesses" counts cache access
 // cycles — the unit of Table 4's L2 activity and the denominator of the
 // effective bandwidth of Fig 6. "Words" counts 64-bit words transferred,
@@ -105,9 +145,14 @@ type System interface {
 	// Name identifies the subsystem in reports.
 	Name() string
 	// Issue schedules all element accesses of a vector memory
-	// instruction beginning no earlier than cycle t0 and returns the
-	// completion cycle of the last element.
-	Issue(in *isa.Inst, t0 int64) int64
+	// instruction beginning no earlier than cycle t0. The int64 is the
+	// cycle the instruction's port/bank occupancy and cache hits
+	// complete; the Pending handle, when non-nil, tracks outstanding
+	// line misses registered in the MSHR file — the instruction's data
+	// is not architecturally complete until the handle reports ready.
+	// A nil handle means the returned cycle is the final completion
+	// (every access hit, or the subsystem runs the blocking model).
+	Issue(in *isa.Inst, t0 int64) (int64, *Pending)
 	// Stats exposes the accumulated counters.
 	Stats() *Stats
 }
@@ -128,13 +173,13 @@ func (i *Ideal) Name() string { return "ideal" }
 func (i *Ideal) Stats() *Stats { return &i.st }
 
 // Issue implements System: everything completes next cycle.
-func (i *Ideal) Issue(in *isa.Inst, t0 int64) int64 {
+func (i *Ideal) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	i.st.Instructions++
 	words := uint64(in.Bytes()+7) / 8
 	i.st.Words += words
 	i.st.Accesses += words
 	i.st.Elements += uint64(in.VL)
-	return t0 + 1
+	return t0 + 1, nil
 }
 
 // MultiBanked is the 4-port, 8-bank design of Fig 2-a: every element is a
@@ -166,7 +211,7 @@ func (m *MultiBanked) Name() string { return "multibanked" }
 func (m *MultiBanked) Stats() *Stats { return &m.st }
 
 // Issue implements System.
-func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
+func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	m.st.Instructions++
 	m.scratch = in.ElemAddrs(m.scratch[:0])
 	m.batch = m.batch[:0]
@@ -211,11 +256,12 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) int64 {
 			}
 		}
 	}
-	// The whole instruction's misses reach the controller as one batch:
-	// the memory parallelism the instruction exposes is visible to the
-	// scheduler at once. Bank conflicts make the per-word times
-	// non-monotonic; the backend orders arrivals itself.
-	return m.tim.SubmitMisses(m.batch, done)
+	// The whole instruction's misses reach the controller (or the MSHR
+	// file) as one batch: the memory parallelism the instruction
+	// exposes is visible to the scheduler at once. Bank conflicts make
+	// the per-word times non-monotonic; the backend orders arrivals
+	// itself.
+	return m.tim.Complete(m.batch, done)
 }
 
 func (m *MultiBanked) access(addr uint64, store bool) cache.Result {
@@ -259,7 +305,7 @@ func (v *VectorCache) Name() string {
 func (v *VectorCache) Stats() *Stats { return &v.st }
 
 // Issue implements System.
-func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
+func (v *VectorCache) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	v.st.Instructions++
 	v.batch = v.batch[:0]
 	done := t0
@@ -299,7 +345,7 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 			v.st.D3Words += uint64(in.Width)
 		}
 		// The whole instruction's misses form one controller batch.
-		return v.tim.SubmitMisses(v.batch, done)
+		return v.tim.Complete(v.batch, done)
 	}
 
 	switch {
@@ -338,7 +384,7 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) int64 {
 		}
 	}
 	// The whole instruction's misses form one controller batch.
-	return v.tim.SubmitMisses(v.batch, done)
+	return v.tim.Complete(v.batch, done)
 }
 
 // lookup touches every L2 line the access spans (at most two for 2D

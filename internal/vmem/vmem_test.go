@@ -22,7 +22,7 @@ func dvLoad(addr uint64, vl, width int, stride int64) *isa.Inst {
 
 func TestIdealSingleCycle(t *testing.T) {
 	id := NewIdeal()
-	done := id.Issue(momLoad(0x1000, 16, 176), 100)
+	done, _ := id.Issue(momLoad(0x1000, 16, 176), 100)
 	if done != 101 {
 		t.Errorf("ideal done = %d, want 101", done)
 	}
@@ -35,7 +35,7 @@ func TestMultiBankedConflictFree(t *testing.T) {
 	m := NewMultiBanked(l2(), nil, tim(), 4, 8)
 	// 8 consecutive words hit 8 distinct banks: 4 ports -> 2 cycles of
 	// issue; completion = start cycle of last + latency (+miss on first).
-	done := m.Issue(momLoad(0, 8, 8), 0)
+	done, _ := m.Issue(momLoad(0, 8, 8), 0)
 	st := m.Stats()
 	if st.Accesses != 8 || st.Words != 8 {
 		t.Errorf("stats: %+v", st)
@@ -120,8 +120,8 @@ func TestVectorCachePortSerialization(t *testing.T) {
 	v := NewVectorCache(l2(), nil, tim(), 4, false)
 	// Warm the line so both instructions hit.
 	v.Issue(momLoad(0x100, 4, 8), 0)
-	d1 := v.Issue(momLoad(0x100, 4, 8), 10)
-	d2 := v.Issue(momLoad(0x100, 4, 8), 10)
+	d1, _ := v.Issue(momLoad(0x100, 4, 8), 10)
+	d2, _ := v.Issue(momLoad(0x100, 4, 8), 10)
 	if d2 != d1+1 {
 		t.Errorf("second instruction must wait for the port: %d then %d", d1, d2)
 	}
@@ -129,11 +129,11 @@ func TestVectorCachePortSerialization(t *testing.T) {
 
 func TestMissLatency(t *testing.T) {
 	v := NewVectorCache(l2(), nil, tim(), 4, false)
-	d := v.Issue(momLoad(0x100, 1, 8), 0)
+	d, _ := v.Issue(momLoad(0x100, 1, 8), 0)
 	if d != 0+20+100 {
 		t.Errorf("miss completion = %d, want 120", d)
 	}
-	d = v.Issue(momLoad(0x100, 1, 8), 200)
+	d, _ = v.Issue(momLoad(0x100, 1, 8), 200)
 	if d != 220 {
 		t.Errorf("hit completion = %d, want 220", d)
 	}
@@ -204,10 +204,11 @@ type recordingBackend struct {
 	comps   []dram.Completion
 }
 
-func (r *recordingBackend) Name() string       { return "recording" }
-func (r *recordingBackend) Stats() *dram.Stats { return &r.st }
-func (r *recordingBackend) LineBytes() int     { return cache.L2LineBytes }
-func (r *recordingBackend) Reset()             { r.batches = nil }
+func (r *recordingBackend) Name() string          { return "recording" }
+func (r *recordingBackend) Stats() *dram.Stats    { return &r.st }
+func (r *recordingBackend) LineBytes() int        { return cache.L2LineBytes }
+func (r *recordingBackend) MinReadLatency() int64 { return 100 }
+func (r *recordingBackend) Reset()                { r.batches = nil }
 func (r *recordingBackend) Submit(batch []dram.Request) []dram.Completion {
 	cp := append([]dram.Request(nil), batch...)
 	r.batches = append(r.batches, cp)
@@ -225,7 +226,7 @@ func TestInstructionMissesFormOneBatch(t *testing.T) {
 	rb := &recordingBackend{}
 	v := NewVectorCache(l2(), nil, Timing{L2Latency: 20, MemLatency: 100, Backend: rb}, 4, false)
 	// 32 consecutive words from a cold cache: two 128-byte lines miss.
-	done := v.Issue(momLoad(0, 32, 8), 0)
+	done, _ := v.Issue(momLoad(0, 32, 8), 0)
 	if len(rb.batches) != 1 {
 		t.Fatalf("Submit calls = %d, want 1 per instruction", len(rb.batches))
 	}
@@ -279,7 +280,7 @@ func TestDirtyVictimWritebackRidesBatch(t *testing.T) {
 	st := &isa.Inst{Op: isa.OpVStore, Kind: isa.KindMOMMem, Addr: 0, VL: 4, Stride: 8, IsStore: true}
 	v.Issue(st, 0)
 	rb.batches = nil
-	done := v.Issue(momLoad(4*cache.L2LineBytes, 4, 8), 100)
+	done, _ := v.Issue(momLoad(4*cache.L2LineBytes, 4, 8), 100)
 	if len(rb.batches) != 1 {
 		t.Fatalf("Submit calls = %d, want 1", len(rb.batches))
 	}
