@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test bench fmt-check vet
+.PHONY: verify build test test-race bench fmt-check vet
 
 verify: build test
 
@@ -11,14 +11,22 @@ build:
 test:
 	go test ./...
 
+# test-race reruns the suite under the race detector; the simulator is
+# single-threaded by design, so a report here means shared state leaked
+# between a test's goroutines (parallel subtests, fuzz workers).
+test-race:
+	go test -race ./...
+
 # bench runs every benchmark exactly once as a perf-path smoke test:
 # a panic or regression in the hot simulation loops breaks the build
 # without paying for a full statistical benchmarking run. The momsim
-# invocation smokes the non-blocking memory pipeline (-mshr 8) on the
-# full-size gsmencode stream, a path the Go benchmarks do not cross.
+# invocations smoke the non-blocking memory pipeline (-mshr 8) and the
+# stream prefetcher riding it (-mshr 16 -pf 8) on the full-size
+# gsmencode stream, paths the Go benchmarks do not cross.
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 8
+	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 16 -pf 8
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

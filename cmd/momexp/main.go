@@ -10,8 +10,10 @@
 //	momexp -headline    the abstract's summary numbers
 //	momexp -dramsweep   the fixed-vs-SDRAM main-memory comparison
 //	momexp -mshrsweep   the blocking-vs-MSHR non-blocking pipeline sweep
+//	momexp -pfsweep     the stream-prefetcher sweep over the streaming kernels
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
 //	momexp -mshr 8      ... with an 8-entry MSHR file (non-blocking pipeline)
+//	momexp -mshr 16 -pf 8  ... with a stream prefetcher riding the MSHR batch
 //	momexp -q           suppress per-simulation progress
 package main
 
@@ -30,6 +32,7 @@ func main() {
 	headline := flag.Bool("headline", false, "print only the headline summary")
 	dramsweep := flag.Bool("dramsweep", false, "print only the fixed-vs-SDRAM sweep")
 	mshrsweep := flag.Bool("mshrsweep", false, "print only the blocking-vs-MSHR pipeline sweep")
+	pfsweep := flag.Bool("pfsweep", false, "print only the stream-prefetcher sweep (streaming kernels)")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
@@ -40,6 +43,8 @@ func main() {
 	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
 	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model)")
+	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
+	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -51,7 +56,7 @@ func main() {
 	}
 	// Reject explicitly-set knobs the chosen backend would silently
 	// ignore (shared policy with momsim).
-	dramKnobSet, dramSet, mshrSet := false, false, false
+	dramKnobSet, dramSet, mshrSet, pfSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin":
@@ -60,6 +65,8 @@ func main() {
 			dramSet = true
 		case "mshr":
 			mshrSet = true
+		case "pf", "pfd":
+			pfSet = true
 		}
 	})
 	if err := dram.ValidateFlagCombo(*dramName, dramKnobSet, false); err != nil {
@@ -72,19 +79,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -mshr requires -dram fixed or -dram sdram")
 		os.Exit(2)
 	}
-	// The sweeps cross their own backend configurations; explicit dram
-	// flags would be silently ignored there, so reject the combination.
-	if *dramsweep && (dramSet || dramKnobSet || mshrSet) {
-		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr")
+	if pfSet && *dramName == "" {
+		fmt.Fprintln(os.Stderr, "momexp: -pf/-pfd require -dram fixed or -dram sdram (and -mshr >= 2)")
 		os.Exit(2)
 	}
-	if *mshrsweep && (dramSet || dramKnobSet || mshrSet) {
-		fmt.Fprintln(os.Stderr, "momexp: -mshrsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr")
+	// The sweeps cross their own backend configurations; explicit dram
+	// flags would be silently ignored there, so reject the combination.
+	if *dramsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
+	if *mshrsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -mshrsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
+	if *pfsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -pfsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
 	if *dramName != "" {
 		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin,
-			WQLow: *dwql, WQIdle: int64(*dwqi), MSHRs: *mshr}
+			WQLow: *dwql, WQIdle: int64(*dwqi), MSHRs: *mshr,
+			PFStreams: *pf, PFDegree: *pfd}
 		// One build call validates backend kind, mapping, scheduler,
 		// profile and knobs; the runner would only panic on a bad spec
 		// much later.
@@ -104,6 +120,8 @@ func main() {
 		fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
 	case *mshrsweep:
 		fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
+	case *pfsweep:
+		fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -127,16 +145,18 @@ func main() {
 		fmt.Println()
 		printFigure(r, 11)
 		fmt.Println()
-		// The sweep fixes its own backend configurations; with explicit
-		// dram flags it would silently disregard them, so skip it.
-		if dramSet || dramKnobSet || mshrSet {
-			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM and MSHR sweeps (they compare their own backend configurations)")
+		// The sweeps fix their own backend configurations; with explicit
+		// dram flags they would silently disregard them, so skip them.
+		if dramSet || dramKnobSet || mshrSet || pfSet {
+			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM, MSHR and prefetch sweeps (they compare their own backend configurations)")
 		} else {
 			fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
 			fmt.Println()
 			fmt.Print(experiments.RenderChannelScaling(experiments.DRAMChannelScaling(r)))
 			fmt.Println()
 			fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
+			fmt.Println()
+			fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())

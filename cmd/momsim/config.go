@@ -26,6 +26,8 @@ type options struct {
 	DWQI   int
 	DWin   int
 	MSHR   int
+	PF     int
+	PFD    int
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
@@ -67,7 +69,8 @@ func resolve(o options) (runConfig, error) {
 		return rc, err
 	}
 	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin,
-		WQLow: o.DWQL, WQIdle: int64(o.DWQI), MSHRs: o.MSHR}
+		WQLow: o.DWQL, WQIdle: int64(o.DWQI), MSHRs: o.MSHR,
+		PFStreams: o.PF, PFDegree: o.PFD}
 	backend, err := dram.BuildOpts(o.DRAM, o.DMap, o.DSched, o.DProf, knobs, o.MemLat)
 	if err != nil {
 		return rc, err
@@ -75,12 +78,16 @@ func resolve(o options) (runConfig, error) {
 	if memKind == core.MemIdeal && o.MSHR != 0 {
 		return rc, fmt.Errorf("-mshr needs a cache hierarchy; it has no effect with -mem ideal")
 	}
+	if memKind == core.MemIdeal && o.PF != 0 {
+		return rc, fmt.Errorf("-pf needs a cache hierarchy; it has no effect with -mem ideal")
+	}
 	cfg.UseGshare = o.Gshare
 	rc.Bench = bm
 	rc.Variant = variant
 	rc.Core = cfg
 	rc.MemKind = memKind
-	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend, MSHRs: o.MSHR}
+	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend,
+		MSHRs: o.MSHR, PFStreams: o.PF, PFDegree: o.PFD}
 	return rc, nil
 }
 

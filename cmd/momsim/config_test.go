@@ -85,6 +85,28 @@ func TestResolveMSHR(t *testing.T) {
 	}
 }
 
+func TestResolvePrefetch(t *testing.T) {
+	o := defaultOptions()
+	o.MSHR, o.PF, o.PFD = 16, 8, 2
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(pf): %v", err)
+	}
+	if rc.Timing.PFStreams != 8 || rc.Timing.PFDegree != 2 || rc.Timing.MSHRs != 16 {
+		t.Errorf("prefetch knobs not threaded: %+v", rc.Timing)
+	}
+	// The degree default is applied by the model layer, not resolve.
+	o = defaultOptions()
+	o.MSHR, o.PF = 8, 4
+	if rc, err = resolve(o); err != nil || rc.Timing.PFStreams != 4 || rc.Timing.PFDegree != 0 {
+		t.Errorf("pf without pfd: %+v (err %v)", rc.Timing, err)
+	}
+	// Default stays prefetch-off.
+	if rc, err = resolve(defaultOptions()); err != nil || rc.Timing.PFStreams != 0 {
+		t.Errorf("default Timing.PFStreams = %d (err %v), want 0", rc.Timing.PFStreams, err)
+	}
+}
+
 func TestResolveWriteDrainKnobs(t *testing.T) {
 	o := defaultOptions()
 	o.DRAM, o.DWQ, o.DWQL, o.DWQI = "sdram", 8, 2, 50
@@ -119,6 +141,11 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"dwin-negative", func(o *options) { o.DRAM = "sdram"; o.DWin = -1 }, "knobs"},
 		{"mshr-negative", func(o *options) { o.MSHR = -2 }, "knobs"},
 		{"mshr-ideal", func(o *options) { o.Mem = "ideal"; o.MSHR = 8 }, "-mshr"},
+		{"pf-negative", func(o *options) { o.PF = -1 }, "knobs"},
+		{"pf-no-mshr", func(o *options) { o.PF = 8 }, "mshr"},
+		{"pf-blocking-mshr", func(o *options) { o.MSHR = 1; o.PF = 8 }, "mshr"},
+		{"pfd-no-pf", func(o *options) { o.MSHR = 8; o.PFD = 4 }, "stream count"},
+		{"pf-ideal", func(o *options) { o.Mem = "ideal"; o.MSHR = 8; o.PF = 8 }, "-mshr"},
 		{"dwql-above-drain", func(o *options) { o.DRAM = "sdram"; o.DWQ = 4; o.DWQL = 6 }, "watermark"},
 	}
 	for _, c := range cases {

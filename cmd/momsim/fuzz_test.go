@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzResolve drives momsim's flag resolution with arbitrary values.
+// resolve is the single validation funnel between flag.Parse and the
+// simulator, so its contract under fuzzing is strict: it must never
+// panic, and when it accepts a configuration the result must be
+// runnable — a benchmark, a core config and (away from ideal memory) a
+// DRAM backend. The checked-in corpus under testdata/fuzz/FuzzResolve
+// replays known-interesting combinations as regular test cases.
+func FuzzResolve(f *testing.F) {
+	add := func(bench, isa, mem, dram, dmap, dsched, dprof string,
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd int, l2, mlat int64) {
+		f.Add(bench, isa, mem, dram, dmap, dsched, dprof,
+			dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, l2, mlat)
+	}
+	d := defaultOptions()
+	add(d.Bench, d.ISA, d.Mem, d.DRAM, d.DMap, d.DSched, d.DProf,
+		0, 0, 0, 0, 0, 0, 0, 0, d.L2Lat, d.MemLat)
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "hbm",
+		4, 8, 2, 50, 16, 16, 8, 4, 20, 100)
+	add("motionsearch", "mom", "vcache", "sdram", "bank", "fcfs", "ddr",
+		0, 0, 0, 0, 0, 8, 0, 0, 40, 100)
+	add("jpegencode", "mmx", "multibanked", "fixed", "line", "frfcfs", "ddr",
+		0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+	add("mpeg2decode", "mom3d", "ideal", "fixed", "line", "frfcfs", "ddr",
+		0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+	add("quake3", "avx512", "dcache", "hbm", "xor", "rr", "lpddr",
+		3, -1, 9, -2, -1, -5, 1, -1, -20, -100)
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "",
+		0, 0, 0, 0, 0, 1, 8, 0, 20, 100) // pf over a blocking file: rejected
+
+	f.Fuzz(func(t *testing.T, bench, isa, mem, dram, dmap, dsched, dprof string,
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd int, l2, mlat int64) {
+		rc, err := resolve(options{
+			Bench: bench, ISA: isa, Mem: mem,
+			DRAM: dram, DMap: dmap, DSched: dsched, DProf: dprof,
+			DChan: dchan, DWQ: dwq, DWQL: dwql, DWQI: dwqi, DWin: dwin,
+			MSHR: mshr, PF: pf, PFD: pfd,
+			L2Lat: l2, MemLat: mlat,
+		})
+		if err != nil {
+			return
+		}
+		if rc.Bench.Name == "" {
+			t.Fatal("accepted configuration has no benchmark")
+		}
+		if rc.Core.FetchWidth <= 0 {
+			t.Fatalf("accepted configuration has no core: %+v", rc.Core)
+		}
+		if rc.Timing.Backend == nil {
+			t.Fatal("accepted configuration has no DRAM backend")
+		}
+		if rc.Timing.PFStreams > 0 && rc.Timing.MSHRs < 2 {
+			t.Fatalf("accepted a prefetcher over a blocking pipeline: %+v", rc.Timing)
+		}
+		if rc.MemKind == core.MemIdeal && (rc.Timing.MSHRs != 0 || rc.Timing.PFStreams != 0) {
+			t.Fatalf("accepted mshr/pf with ideal memory: %+v", rc.Timing)
+		}
+	})
+}

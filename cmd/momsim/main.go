@@ -14,7 +14,10 @@
 // enables the non-blocking memory pipeline: N miss-status holding
 // registers decouple instruction issue from memory completion (N=1 is
 // the bit-exact blocking compatibility mode; 0, the default, keeps the
-// legacy blocking path).
+// legacy blocking path). -pf N adds a stream prefetcher over the MSHR
+// file (N stream-table entries; -pfd picks how many lines each stream
+// keeps in flight): predicted L2 lines join the lazy MSHR batch as
+// prefetch entries that never stall the demand pipeline.
 package main
 
 import (
@@ -44,6 +47,8 @@ func main() {
 	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
 	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model, 1 = blocking via the MSHR file)")
+	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
+	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
@@ -71,7 +76,7 @@ func main() {
 		Bench: *benchName, ISA: *isaName, Mem: *memName,
 		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof,
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
-		MSHR:  *mshr,
+		MSHR: *mshr, PF: *pf, PFD: *pfd,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
 	})
 	if err != nil {
@@ -132,6 +137,14 @@ func main() {
 			fs.Flushes, fs.AvgBatch(), fs.AvgSpan(), fs.SpanMax, fs.FullStalls, fs.StallCycles)
 		fmt.Printf("early retirement: %d instructions graduated with misses in flight, %d store-buffer stalls\n",
 			st.EarlyRetired, st.StallSB)
+	}
+	if p := ms.Prefetcher(); p != nil {
+		ps := ms.PrefetchStats()
+		pc := p.Config()
+		fmt.Printf("prefetcher (%d streams, degree %d): %d trains, %d streams tracked, %d lines issued (%d filtered, %d dropped mshr-full, %d dropped wq-full)\n",
+			pc.Streams, pc.Degree, ps.Trains, ps.Streams, ps.Issued, ps.Filtered, ps.DroppedMSHR, ps.DroppedWQ)
+		fmt.Printf("prefetch outcome: %d hits, %d late, %d useless, accuracy %.2f\n",
+			ps.Hits, ps.Late, ps.Useless, ps.Accuracy())
 	}
 	// Drain any posted writes so the report accounts for all traffic.
 	if sd, ok := ms.DRAM().(*dram.SDRAM); ok {

@@ -38,7 +38,10 @@ func L2Config(latency int64) Config {
 	return Config{Name: "L2", Size: 2 << 20, LineSize: L2LineBytes, Ways: 4, WriteBack: true, Latency: latency}
 }
 
-// Stats counts cache events.
+// Stats counts cache events. The demand counters (Accesses, Hits,
+// Misses) never include prefetch fills: FillPrefetch keeps its own
+// counters so enabling a prefetcher cannot shift the hit-rate figures
+// the paper's tables report.
 type Stats struct {
 	Accesses    uint64
 	Hits        uint64
@@ -46,6 +49,16 @@ type Stats struct {
 	Evictions   uint64
 	Writebacks  uint64
 	Invalidates uint64
+
+	// PrefetchFills counts lines installed by FillPrefetch.
+	// PrefetchedHits counts demand accesses that found a line a
+	// prefetch installed (the access clears the line's prefetched
+	// mark, so each fill is counted at most once). PrefetchUseless
+	// counts prefetched lines evicted or invalidated with the mark
+	// still set — lines fetched and never wanted.
+	PrefetchFills   uint64
+	PrefetchedHits  uint64
+	PrefetchUseless uint64
 }
 
 // HitRate returns hits/accesses (1 for an untouched cache).
@@ -64,7 +77,10 @@ type line struct {
 	// line may also be cached in the L1, so vector writes know to
 	// invalidate it there.
 	inL1 bool
-	lru  uint64
+	// pf marks a line installed by a prefetch and not yet touched by a
+	// demand access; the first demand access reports and clears it.
+	pf  bool
+	lru uint64
 }
 
 // Cache is one set-associative cache array.
@@ -118,6 +134,13 @@ type Result struct {
 	Hit        bool
 	Writeback  bool   // a dirty victim was evicted
 	VictimAddr uint64 // line address of the dirty victim when Writeback
+
+	// Prefetched reports that a demand access hit a line a prefetch
+	// installed that no demand had touched yet (the mark is cleared, so
+	// at most one access per fill sees it). The caller may still be
+	// waiting on the line's fill in the MSHR file — the vmem layer
+	// resolves that into the PrefetchHit / PrefetchLate split.
+	Prefetched bool
 }
 
 // Access looks up the line containing addr, allocating it on a miss
@@ -137,35 +160,92 @@ func (c *Cache) Access(addr uint64, write, fromL1 bool) Result {
 		if fromL1 {
 			set[w].inL1 = true
 		}
-		return Result{Hit: true}
+		res := Result{Hit: true}
+		if set[w].pf {
+			set[w].pf = false
+			c.Stats.PrefetchedHits++
+			res.Prefetched = true
+		}
+		return res
 	}
 	c.Stats.Misses++
 	if write && !c.cfg.WriteBack {
 		return Result{} // write-through, no write-allocate
 	}
-	// Allocate: evict LRU way.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
-	}
+	res := c.allocate(set, addr, write && c.cfg.WriteBack, fromL1, false)
+	return res
+}
+
+// allocate installs the line containing addr into set, evicting the LRU
+// way, and reports any dirty victim. pf marks the fill as a prefetch.
+func (c *Cache) allocate(set []line, addr uint64, dirty, fromL1, pf bool) Result {
+	victim := c.victimWay(set)
 	res := Result{}
 	if set[victim].valid {
 		c.Stats.Evictions++
+		if set[victim].pf {
+			c.Stats.PrefetchUseless++
+		}
 		if set[victim].dirty {
 			c.Stats.Writebacks++
 			res.Writeback = true
 			res.VictimAddr = set[victim].tag << c.lineShift
 		}
 	}
-	set[victim] = line{tag: addr >> c.lineShift, valid: true, dirty: write && c.cfg.WriteBack,
-		inL1: fromL1, lru: c.tick}
+	set[victim] = line{tag: addr >> c.lineShift, valid: true, dirty: dirty,
+		inL1: fromL1, pf: pf, lru: c.tick}
 	return res
+}
+
+// victimWay picks the way a fill of this set would evict: the first
+// invalid way, else the LRU way.
+func (c *Cache) victimWay(set []line) int {
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	return victim
+}
+
+// FillPrefetch installs the line containing addr as a clean prefetched
+// line through the normal allocate path — the same LRU victim selection
+// and dirty-victim write-back reporting a demand fill gets — without
+// counting a demand access (the Accesses/Hits/Misses counters and the
+// exclusive bit are untouched). Filling a line already present is a
+// no-op that reports a hit. The first demand access to the filled line
+// reports Prefetched and clears the mark; a line evicted with the mark
+// still set counts as PrefetchUseless.
+func (c *Cache) FillPrefetch(addr uint64) Result {
+	c.tick++
+	set, w := c.find(addr)
+	if w >= 0 {
+		return Result{Hit: true}
+	}
+	c.Stats.PrefetchFills++
+	return c.allocate(set, addr, false, false, true)
+}
+
+// PeekVictim reports, without side effects, what a fill of addr's line
+// would do: present means the line is already cached (no eviction);
+// otherwise victim/dirty describe the line the fill would evict (dirty
+// false with victim 0 when the set still has an invalid way). The
+// prefetcher uses it to drop a prefetch whose dirty victim could not be
+// posted, before committing the fill.
+func (c *Cache) PeekVictim(addr uint64) (victim uint64, dirty, present bool) {
+	set, w := c.find(addr)
+	if w >= 0 {
+		return 0, false, true
+	}
+	v := c.victimWay(set)
+	if !set[v].valid {
+		return 0, false, false
+	}
+	return set[v].tag << c.lineShift, set[v].dirty, false
 }
 
 // Contains reports whether the line holding addr is present (no LRU or
@@ -184,6 +264,9 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		return false
 	}
 	c.Stats.Invalidates++
+	if set[w].pf {
+		c.Stats.PrefetchUseless++
+	}
 	set[w] = line{}
 	return true
 }

@@ -60,6 +60,7 @@ type MemSystem struct {
 	l1Banks []int64 // MMX multi-banked configuration: L1 bank free cycles
 
 	scalarBatch []dram.Request // reused one-miss batch for the scalar path
+	scalarPF    []vmem.PFTouch // reused prefetched-touch list for the scalar path
 }
 
 // NewMemSystem builds a memory system. lanes is the processor's lane
@@ -84,6 +85,16 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 		// path: both sit behind the same L2, so their misses share the
 		// same outstanding-line budget and the same Submit batches.
 		m.Tim.MSHR = vmem.NewMSHRFile(tim, tim.MSHRs)
+	}
+	if tim.PFStreams > 0 {
+		// The stream prefetcher needs the lazy batch to ride: reject
+		// configurations the CLIs should already have screened out.
+		if tim.MSHRs < 2 {
+			panic("core: the stream prefetcher (PFStreams > 0) requires a non-blocking MSHR file (MSHRs >= 2)")
+		}
+		pf := vmem.NewPrefetcher(vmem.PrefetchConfig{Streams: tim.PFStreams, Degree: tim.PFDegree},
+			m.L2.Config().LineSize)
+		m.Tim.MSHR.AttachPrefetcher(pf, m.L2)
 	}
 	switch kind {
 	case MemMultiBanked:
@@ -126,6 +137,13 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	done := t + m.L1.Config().Latency + m.Tim.L2Latency
 	res := m.L2.Access(in.Addr, false, true)
 	if res.Hit {
+		if res.Prefetched {
+			// The line was prefetched: the load may still be waiting on
+			// the in-flight fill, and the touch trains the stream table.
+			m.scalarPF = append(m.scalarPF[:0],
+				vmem.PFTouch{Line: m.L2.LineAddr(in.Addr), At: done})
+			return m.Tim.Complete(nil, m.scalarPF, done)
+		}
 		return done, nil
 	}
 	// A scalar miss is a one-request batch; a dirty victim evicted
@@ -136,7 +154,7 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	if res.Writeback && m.Tim.Backend != nil {
 		m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: res.VictimAddr, Write: true, At: done})
 	}
-	return m.Tim.Complete(m.scalarBatch, done)
+	return m.Tim.Complete(m.scalarBatch, m.scalarPF[:0], done)
 }
 
 // L2Activity returns total L2 accesses: vector subsystem activity plus
@@ -155,6 +173,24 @@ func (m *MemSystem) DRAM() dram.Backend {
 // blocking model is in use.
 func (m *MemSystem) MSHR() *vmem.MSHRFile {
 	return m.Tim.MSHR
+}
+
+// Prefetcher returns the stream prefetcher attached to the MSHR file,
+// or nil when prefetching is off.
+func (m *MemSystem) Prefetcher() *vmem.Prefetcher {
+	if m.Tim.MSHR == nil {
+		return nil
+	}
+	return m.Tim.MSHR.Prefetcher()
+}
+
+// PrefetchStats returns the prefetcher's counters (with the useless-
+// eviction count folded in), or the zero value when prefetching is off.
+func (m *MemSystem) PrefetchStats() vmem.PrefetchStats {
+	if m.Tim.MSHR == nil {
+		return vmem.PrefetchStats{}
+	}
+	return m.Tim.MSHR.PrefetchStats()
 }
 
 // Drain submits any misses and write-backs still sitting in the MSHR

@@ -28,6 +28,13 @@ func GSMEnc() kernels.Benchmark   { return kernels.GSMEncode(kernels.SmallGSMEnc
 
 // simBench runs one benchmark trace through one memory configuration.
 func simBench(t *testing.T, tr *trace.Trace, v kernels.Variant, kind MemKind, spec string, mshrs int) *Stats {
+	st, _ := simBenchPF(t, tr, v, kind, spec, mshrs, 0, 0)
+	return st
+}
+
+// simBenchPF is simBench with a stream prefetcher configured; it also
+// returns the memory system for stat inspection.
+func simBenchPF(t *testing.T, tr *trace.Trace, v kernels.Variant, kind MemKind, spec string, mshrs, pfStreams, pfDegree int) (*Stats, *MemSystem) {
 	t.Helper()
 	cfg := MOMCore()
 	if v == kernels.MMX {
@@ -41,9 +48,10 @@ func simBench(t *testing.T, tr *trace.Trace, v kernels.Variant, kind MemKind, sp
 		}
 		backend = b
 	}
-	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend, MSHRs: mshrs}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend, MSHRs: mshrs,
+		PFStreams: pfStreams, PFDegree: pfDegree}
 	ms := NewMemSystem(kind, tim, cfg.Lanes, v == kernels.MMX && kind != MemIdeal)
-	return Simulate(cfg, ms, tr.Insts)
+	return Simulate(cfg, ms, tr.Insts), ms
 }
 
 // TestMSHR1MatchesBlockingAllBenchmarks is the refactor's safety net:
@@ -78,6 +86,77 @@ func TestMSHR1MatchesBlockingAllBenchmarks(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPrefetchOffMatchesNoPrefetcher extends the equivalence net over
+// the prefetch-off path: a Timing with PFStreams 0 must run the exact
+// code the pre-prefetcher model ran, so cycles and commits match a
+// configuration that never mentions the prefetcher, on the blocking
+// model, the blocking-mode file and the decoupled file alike. (The
+// absolute pre-PR baselines are pinned separately by TestGoldenStats.)
+func TestPrefetchOffMatchesNoPrefetcher(t *testing.T) {
+	bm := kernels.MotionSearch(kernels.SmallMotionSearchConfig())
+	tr := &trace.Trace{}
+	bm.Run(kernels.MOM3D, tr)
+	for _, mshrs := range []int{0, 1, 8} {
+		for _, spec := range []string{"fixed", "sdram/line/frfcfs"} {
+			base := simBench(t, tr, kernels.MOM3D, MemVectorCache3D, spec, mshrs)
+			off, ms := simBenchPF(t, tr, kernels.MOM3D, MemVectorCache3D, spec, mshrs, 0, 0)
+			if base.Cycles != off.Cycles || base.Committed != off.Committed {
+				t.Errorf("%s/mshr%d: pf-off cycles %d (commits %d) != baseline %d (%d)",
+					spec, mshrs, off.Cycles, off.Committed, base.Cycles, base.Committed)
+			}
+			if ms.Prefetcher() != nil {
+				t.Fatalf("%s/mshr%d: PFStreams 0 built a prefetcher", spec, mshrs)
+			}
+			if st := ms.PrefetchStats(); st != (vmem.PrefetchStats{}) {
+				t.Errorf("%s/mshr%d: pf-off run accumulated prefetch stats %+v", spec, mshrs, st)
+			}
+		}
+	}
+}
+
+// TestPrefetchPipelineEndToEnd: with the prefetcher on, a streaming
+// kernel still commits every instruction, issues prefetches, and the
+// prefetch traffic is visible in the DRAM statistics.
+func TestPrefetchPipelineEndToEnd(t *testing.T) {
+	bm := GSMEnc()
+	tr := &trace.Trace{}
+	bm.Run(kernels.MOM3D, tr)
+	base := simBench(t, tr, kernels.MOM3D, MemVectorCache3D, "sdram/line/frfcfs", 16)
+	pf, ms := simBenchPF(t, tr, kernels.MOM3D, MemVectorCache3D, "sdram/line/frfcfs", 16, 8, 2)
+	if pf.Committed != base.Committed {
+		t.Fatalf("committed %d != baseline %d", pf.Committed, base.Committed)
+	}
+	st := ms.PrefetchStats()
+	if st.Issued == 0 {
+		t.Fatal("the sequential gsmencode miss stream must trigger prefetches")
+	}
+	if got := ms.DRAM().Stats().PrefetchReads; got != st.Issued {
+		// Every issued prefetch read reaches the backend by end-of-run
+		// (Simulate drains the file).
+		t.Errorf("dram prefetch reads %d != issued %d", got, st.Issued)
+	}
+	if st.Hits+st.Late+st.Useless > st.Issued {
+		t.Errorf("outcome counts exceed issues: %+v", st)
+	}
+}
+
+// TestPrefetchRequiresNonBlockingFile: building a memory system with
+// the prefetcher over a blocking pipeline must panic — the CLIs reject
+// it, and the model layer backstops them.
+func TestPrefetchRequiresNonBlockingFile(t *testing.T) {
+	for _, mshrs := range []int{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PFStreams with MSHRs=%d must panic", mshrs)
+				}
+			}()
+			tim := vmem.Timing{L2Latency: 20, MemLatency: 100, MSHRs: mshrs, PFStreams: 8}
+			NewMemSystem(MemVectorCache3D, tim, 4, false)
+		}()
 	}
 }
 

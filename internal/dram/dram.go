@@ -38,6 +38,13 @@ type Request struct {
 	Write bool
 	At    int64
 	ID    uint64
+
+	// Prefetch marks a request the stream prefetcher injected (a
+	// predicted line fill, or the write-back its fill evicted) rather
+	// than one a demand miss generated. Scheduling treats both kinds
+	// identically — a prefetch in the batch is exactly as visible to
+	// FR-FCFS as a demand read — but the statistics keep them apart.
+	Prefetch bool
 }
 
 // Completion reports the outcome of one Request. Done is the cycle the
@@ -81,6 +88,14 @@ type Backend interface {
 	// uses it to answer "certainly not done yet" without forcing the
 	// pending batch to be scheduled early.
 	MinReadLatency() int64
+	// WriteRoom reports whether a posted write to addr could enter its
+	// channel's write queue without crossing the drain threshold. It is
+	// advisory — posted writes reach the backend lazily with the next
+	// batch, so the queue may have moved by then — and exists so the
+	// prefetcher can drop (never stall on) a prefetch whose dirty
+	// victim would land on a saturated write queue. Backends without a
+	// write queue always have room.
+	WriteRoom(addr uint64) bool
 	// Reset clears all timing state and counters.
 	Reset()
 }
@@ -119,6 +134,11 @@ type Stats struct {
 	// behind write bursts (including the read↔write turnaround) — the
 	// write-induced read latency the drain policy is tuned against.
 	WriteReadStall uint64
+
+	// PrefetchReads counts line fills the stream prefetcher injected
+	// (the Prefetch-tagged reads); they are included in Accesses like
+	// any other read, so demand reads are Reads() - PrefetchReads.
+	PrefetchReads uint64
 
 	// QueueSum accumulates the controller-queue occupancy sampled at
 	// each read arrival (counting the arriving request); QueueMax
@@ -227,6 +247,10 @@ func (f *Fixed) LineBytes() int { return f.lineBytes }
 // Latency.
 func (f *Fixed) MinReadLatency() int64 { return f.Latency }
 
+// WriteRoom implements Backend: the flat model has no write queue, so
+// a posted write always has room.
+func (f *Fixed) WriteRoom(uint64) bool { return true }
+
 // Reset implements Backend.
 func (f *Fixed) Reset() { f.st = Stats{} }
 
@@ -237,6 +261,8 @@ func (f *Fixed) Submit(batch []Request) []Completion {
 		done := r.At + f.Latency
 		if r.Write {
 			f.st.Writes++
+		} else if r.Prefetch {
+			f.st.PrefetchReads++
 		}
 		f.st.observe(r.At, done, f.lineBytes)
 		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done, ID: r.ID})

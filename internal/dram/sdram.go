@@ -294,6 +294,16 @@ func (s *SDRAM) LineBytes() int { return s.cfg.LineBytes }
 // pays the column access and the data burst.
 func (s *SDRAM) MinReadLatency() int64 { return s.cfg.TCAS + s.cfg.TBurst }
 
+// WriteRoom implements Backend: a posted write to addr has room while
+// its channel's write queue sits below the drain threshold — posting
+// one more would not trigger a drain. Advisory only: posted writes
+// arrive with the next lazily-submitted batch, so the queue may have
+// drained (or filled) by then.
+func (s *SDRAM) WriteRoom(addr uint64) bool {
+	ch, _, _ := s.decode(addr)
+	return len(s.chans[ch].writeQ)+1 < s.cfg.WQDrain
+}
+
 // Config returns the controller's configuration.
 func (s *SDRAM) Config() Config { return s.cfg }
 
@@ -633,6 +643,9 @@ func (s *SDRAM) Submit(batch []Request) []Completion {
 		if r.Write {
 			s.wOrder = append(s.wOrder, i)
 		} else {
+			if r.Prefetch {
+				s.st.PrefetchReads++
+			}
 			s.perChan[ch] = append(s.perChan[ch], i)
 		}
 	}

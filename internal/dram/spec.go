@@ -68,6 +68,15 @@ type Knobs struct {
 	WQLow    int   // -dwql / "wql<n>": partial-drain low watermark
 	WQIdle   int64 // -dwqi / "wqi<n>": idle-bus opportunistic-drain gap
 	MSHRs    int   // -mshr / "mshr<n>": vmem MSHR file size (1 = blocking)
+
+	// PFStreams/PFDegree size the vmem-level stream prefetcher
+	// (-pf / -pfd, spec "pf<n>" or "pf<n>d<m>"): stream-table entries
+	// and lines kept in flight per stream. Like MSHRs they configure
+	// the vmem layer, not the controller — and they require a
+	// non-blocking file (MSHRs >= 2), because predicted lines ride the
+	// lazily-submitted MSHR batch.
+	PFStreams int
+	PFDegree  int
 }
 
 func (k Knobs) apply(cfg Config) Config {
@@ -126,9 +135,17 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 		}
 	}
 	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 ||
-		knobs.WQLow < 0 || knobs.WQIdle < 0 || knobs.MSHRs < 0 {
-		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d)",
-			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs)
+		knobs.WQLow < 0 || knobs.WQIdle < 0 || knobs.MSHRs < 0 ||
+		knobs.PFStreams < 0 || knobs.PFDegree < 0 {
+		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d, pf %d, pfd %d)",
+			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs, knobs.PFStreams, knobs.PFDegree)
+	}
+	if knobs.PFDegree > 0 && knobs.PFStreams == 0 {
+		return nil, fmt.Errorf("prefetch degree %d needs a stream count (-pf / pf<n>)", knobs.PFDegree)
+	}
+	if knobs.PFStreams > 0 && knobs.MSHRs < 2 {
+		return nil, fmt.Errorf("the stream prefetcher rides the MSHR batch: pf %d needs a non-blocking MSHR file (mshr >= 2, have %d)",
+			knobs.PFStreams, knobs.MSHRs)
 	}
 	switch kind {
 	case "fixed":
@@ -175,9 +192,10 @@ func FormatSpec(kind, mapping, sched string) string {
 
 // FormatSpecOpts renders the full
 // "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/wql<n>]
-// [/wqi<n>][/win<n>][/mshr<n>]" form; zero-valued knobs and an empty
-// profile are omitted. The mshr knob survives on the fixed kind too —
-// it configures the vmem layer, not the controller.
+// [/wqi<n>][/win<n>][/mshr<n>][/pf<n>d<m>]" form; zero-valued knobs
+// and an empty profile are omitted. The mshr and pf knobs survive on
+// the fixed kind too — they configure the vmem layer, not the
+// controller.
 func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	kind = strings.ToLower(kind)
 	s := kind
@@ -205,12 +223,19 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	if knobs.MSHRs > 0 {
 		s += fmt.Sprintf("/mshr%d", knobs.MSHRs)
 	}
+	if knobs.PFStreams > 0 {
+		if knobs.PFDegree > 0 {
+			s += fmt.Sprintf("/pf%dd%d", knobs.PFStreams, knobs.PFDegree)
+		} else {
+			s += fmt.Sprintf("/pf%d", knobs.PFStreams)
+		}
+	}
 	return s
 }
 
 // parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
-// "wql<n>", "wqi<n>", "win<n>", "mshr<n>". Longer prefixes are tried
-// first so "wql2" never half-matches "wq".
+// "wql<n>", "wqi<n>", "win<n>", "mshr<n>", "pf<n>" and "pf<n>d<m>".
+// Longer prefixes are tried first so "wql2" never half-matches "wq".
 func parseKnob(tok string, k *Knobs) bool {
 	if n, ok := strings.CutSuffix(tok, "ch"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v > 0 {
@@ -218,6 +243,29 @@ func parseKnob(tok string, k *Knobs) bool {
 			return true
 		}
 		return false
+	}
+	if n, ok := strings.CutPrefix(tok, "pf"); ok {
+		// "pf<n>" (default degree) or "pf<n>d<m>" (explicit degree). A
+		// "d" separator with nothing behind it ("pf8d") is malformed,
+		// not a default: the parser's contract is strict rejection.
+		streams, degree := n, ""
+		hasDegree := false
+		if i := strings.IndexByte(n, 'd'); i >= 0 {
+			streams, degree = n[:i], n[i+1:]
+			hasDegree = true
+		}
+		v, err := strconv.Atoi(streams)
+		if err != nil || v <= 0 {
+			return false
+		}
+		d := 0
+		if hasDegree {
+			if d, err = strconv.Atoi(degree); err != nil || d <= 0 {
+				return false
+			}
+		}
+		k.PFStreams, k.PFDegree = v, d
+		return true
 	}
 	for _, p := range []struct {
 		prefix string
@@ -250,9 +298,9 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 
 // ParseSpecFull builds a backend from a spec string:
 //
-//	fixed[/mshr<n>]
+//	fixed[/mshr<n>][/pf<n>[d<m>]]
 //	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/wql<n>]
-//	     [/wqi<n>][/win<n>][/mshr<n>]
+//	     [/wqi<n>][/win<n>][/mshr<n>][/pf<n>[d<m>]]
 //
 // Omitted sdram fields default to line/frfcfs/ddr; knob segments may
 // appear anywhere after the kind. Every segment must parse: an
@@ -288,19 +336,19 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		}
 		if err != nil {
 			return nil, Knobs{}, fmt.Errorf(
-				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> mshr<n>)",
+				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> mshr<n> pf<n>[d<m>])",
 				tok, spec)
 		}
 		pos++
 	}
 	if kind != "sdram" {
-		// Everything but the vmem-level mshr knob configures the banked
-		// controller and would be dead weight on other kinds.
+		// Everything but the vmem-level mshr and pf knobs configures
+		// the banked controller and would be dead weight on other kinds.
 		ctrl := knobs
-		ctrl.MSHRs = 0
+		ctrl.MSHRs, ctrl.PFStreams, ctrl.PFDegree = 0, 0, 0
 		if pos > 0 || ctrl != (Knobs{}) {
 			return nil, Knobs{}, fmt.Errorf(
-				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n> is allowed anywhere)", spec)
+				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n> and pf<n>[d<m>] are allowed anywhere)", spec)
 		}
 	}
 	if kind == "sdram" {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestPFSweepShape(t *testing.T) {
+	r := mshrRunner() // test-scale gsmencode + motionsearch
+	rows := PFSweep(r)
+	if want := len(PFBenches) * len(PFProfiles); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		if len(row.Cycles) != len(PFConfigs) || len(row.BW) != len(PFConfigs) ||
+			len(row.Hits) != len(PFConfigs) || len(row.Issued) != len(PFConfigs) {
+			t.Fatalf("%s/%s: per-config columns missing", row.Bench, row.Profile)
+		}
+		for i, c := range PFConfigs {
+			if row.Cycles[i] <= 0 {
+				t.Errorf("%s/%s/pf%dd%d: cycles %d", row.Bench, row.Profile, c.Streams, c.Degree, row.Cycles[i])
+			}
+			if c.Streams == 0 && row.Issued[i] != 0 {
+				t.Errorf("%s/%s: prefetch-off column issued %d prefetches", row.Bench, row.Profile, row.Issued[i])
+			}
+		}
+		// The off column is the equivalence anchor: it must match the
+		// plain (no pf segment) configuration of the same pipeline.
+		plain := r.SimDRAM(row.Bench, kernels.MOM3D, mom3DVCKind, baseLat, pfSpec(profOf(row.Profile), 0, 0))
+		if row.Cycles[0] != plain.Cycles() {
+			t.Errorf("%s/%s: off column %d != plain mshr pipeline %d",
+				row.Bench, row.Profile, row.Cycles[0], plain.Cycles())
+		}
+	}
+	out := RenderPFSweep(rows)
+	if !strings.Contains(out, "Stream-prefetch sweep") || !strings.Contains(out, "motionsearch") {
+		t.Error("render missing header or benchmark rows")
+	}
+}
+
+// profOf maps the row's display profile back to the spec segment.
+func profOf(display string) string {
+	if display == "ddr" {
+		return ""
+	}
+	return display
+}
+
+// TestPFSweepPrefetchesOnStreamingKernel: at test scale the sequential
+// gsmencode miss stream must actually trigger prefetches in at least
+// one configuration — the sweep is not allowed to be a table of zeros.
+func TestPFSweepPrefetchesOnStreamingKernel(t *testing.T) {
+	r := mshrRunner()
+	issued := uint64(0)
+	for _, row := range PFSweep(r) {
+		for _, n := range row.Issued {
+			issued += n
+		}
+	}
+	if issued == 0 {
+		t.Error("no configuration issued a single prefetch on the streaming kernels")
+	}
+}

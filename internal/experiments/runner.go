@@ -34,8 +34,9 @@ type SimResult struct {
 	ScalarL2 uint64
 	Activity uint64 // total L2 accesses (Table 4)
 	Trace    *trace.Stats
-	DRAM     dram.Stats     // zero-valued under the flat model
-	MSHR     vmem.MSHRStats // zero-valued under the blocking model
+	DRAM     dram.Stats         // zero-valued under the flat model
+	MSHR     vmem.MSHRStats     // zero-valued under the blocking model
+	PF       vmem.PrefetchStats // zero-valued with the prefetcher off
 }
 
 // Cycles is shorthand for the simulated execution time.
@@ -169,7 +170,8 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	}
 	tp := r.traceFor(bench, v)
 	cfg := coreConfigFor(v)
-	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend, MSHRs: knobs.MSHRs}
+	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
 	// In the MMX configuration the "multi-banked" realistic memory banks
 	// the L1 data cache ports (there is no vector subsystem to bank).
 	bankL1 := v == kernels.MMX && mem != core.MemIdeal
@@ -193,6 +195,7 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	}
 	if f := ms.MSHR(); f != nil {
 		res.MSHR = *f.Stats()
+		res.PF = f.PrefetchStats()
 	}
 	r.results[key] = res
 	return res

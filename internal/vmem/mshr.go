@@ -89,6 +89,17 @@ type mshrEntry struct {
 	at       int64 // arrival of the primary miss (after any full-stall)
 	done     int64 // valid once resolved
 	resolved bool
+
+	// prefetch marks an entry the stream prefetcher allocated; it
+	// holds a real MSHR but gates nothing until a demand touches its
+	// line. demanded/demandAt record the first demand touch so the
+	// fill can be classified PrefetchHit (done <= demandAt) or
+	// PrefetchLate once its completion is known; classified keeps the
+	// split from double counting.
+	prefetch   bool
+	demanded   bool
+	classified bool
+	demandAt   int64
 }
 
 // MSHRFile is the miss-status holding register file shared by the
@@ -108,6 +119,15 @@ type MSHRFile struct {
 	nextID   uint64
 	span     int // instructions contributing to the pending batch
 	flushGen int // flush generation, for span tracking across mid-instruction flushes
+
+	// pf/l2 attach the stream prefetcher (AttachPrefetcher): pf turns
+	// the demand miss stream into predicted lines, and the file fills
+	// them into l2 and injects them into the pending batch. Both nil
+	// when prefetching is off.
+	pf *Prefetcher
+	l2 *cache.Cache
+
+	trainBuf []uint64 // scratch: this Register's training lines
 
 	st MSHRStats
 }
@@ -140,6 +160,37 @@ func NewMSHRFile(tim Timing, n int) *MSHRFile {
 		pendByID: map[uint64]*mshrEntry{},
 		nextID:   1, // 0 tags write-backs, which never resolve an entry
 	}
+}
+
+// AttachPrefetcher wires a stream prefetcher into the file: l2 is the
+// cache the predicted lines fill into (via the normal allocate path,
+// dirty victims riding the pending batch as posted write-backs). Only
+// legal on a non-blocking file — a blocking file submits every batch
+// synchronously, so there is no pending batch for a prefetch to ride,
+// and the bit-exact blocking equivalence would be lost.
+func (f *MSHRFile) AttachPrefetcher(p *Prefetcher, l2 *cache.Cache) {
+	if f.blocking {
+		panic("vmem: the stream prefetcher rides the lazy MSHR batch; it needs a non-blocking file (>= 2 MSHRs)")
+	}
+	if p == nil || l2 == nil {
+		panic("vmem: AttachPrefetcher needs a prefetcher and an L2")
+	}
+	f.pf, f.l2 = p, l2
+}
+
+// Prefetcher returns the attached stream prefetcher, or nil.
+func (f *MSHRFile) Prefetcher() *Prefetcher { return f.pf }
+
+// PrefetchStats returns the prefetcher's counters with the Useless
+// count filled in from the L2's eviction accounting (the zero value
+// when no prefetcher is attached).
+func (f *MSHRFile) PrefetchStats() PrefetchStats {
+	if f.pf == nil {
+		return PrefetchStats{}
+	}
+	st := *f.pf.Stats()
+	st.Useless = f.l2.Stats.PrefetchUseless
+	return st
 }
 
 // Cap is the file's MSHR count.
@@ -196,6 +247,7 @@ func (f *MSHRFile) flush() {
 			}
 			if e := f.pendByID[c.ID]; e != nil {
 				e.done, e.resolved = c.Done, true
+				f.classifyPrefetch(e)
 			}
 		}
 	} else {
@@ -207,6 +259,7 @@ func (f *MSHRFile) flush() {
 			}
 			if e := f.pendByID[r.ID]; e != nil {
 				e.done, e.resolved = r.At+f.tim.MemLatency, true
+				f.classifyPrefetch(e)
 			}
 		}
 	}
@@ -254,15 +307,35 @@ func (f *MSHRFile) allocate(addr uint64, at int64) (*mshrEntry, int64) {
 	return e, at
 }
 
+// PFTouch records one demand access that hit a prefetched L2 line (the
+// cache's Result.Prefetched): Line is the L2 line address, At the cycle
+// the access wants its data. The vmem subsystems collect them per
+// instruction and pass them to Complete/Register, which resolves each
+// into the PrefetchHit / PrefetchLate split — and, for a fill still in
+// flight, merges the instruction onto the prefetch's MSHR entry as a
+// secondary miss so the handle waits for the real completion.
+type PFTouch struct {
+	Line uint64
+	At   int64
+}
+
 // Register files one instruction's miss batch — line-fill reads and
-// posted write-backs, as built by the vmem subsystems — and returns
-// the instruction's pending-completion handle. occDone is the
-// completion cycle of the instruction's port/bank occupancy and cache
-// hits; the handle's Done folds it in. Secondary misses to a line
-// already in flight merge into its entry instead of re-submitting the
-// line. In blocking mode the batch is submitted immediately and the
-// returned handle is already resolved.
-func (f *MSHRFile) Register(batch []dram.Request, occDone int64) *Pending {
+// posted write-backs, as built by the vmem subsystems — plus its
+// demand touches of prefetched lines, and returns the instruction's
+// pending-completion handle. occDone is the completion cycle of the
+// instruction's port/bank occupancy and cache hits; the handle's Done
+// folds it in. Secondary misses to a line already in flight merge into
+// its entry instead of re-submitting the line. In blocking mode the
+// batch is submitted immediately and the returned handle is already
+// resolved (a blocking file never has a prefetcher, so pfTouch is
+// always empty there).
+//
+// With a prefetcher attached, the demand lines just filed (misses and
+// prefetched-line touches alike) train the stream table, and every
+// resulting prediction is injected into the same pending batch —
+// after the demands, so a prefetch can never steal an MSHR from the
+// instruction that triggered it.
+func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int64) *Pending {
 	p := &Pending{file: f, base: occDone}
 	if f.blocking {
 		// Blocking mode files the whole instruction atomically, submits
@@ -301,6 +374,7 @@ func (f *MSHRFile) Register(batch []dram.Request, occDone int64) *Pending {
 			gen = f.flushGen
 		}
 	}
+	f.trainBuf = f.trainBuf[:0]
 	for _, r := range batch {
 		if r.Write {
 			r.ID = 0
@@ -310,11 +384,22 @@ func (f *MSHRFile) Register(batch []dram.Request, occDone int64) *Pending {
 			continue
 		}
 		line := r.Addr &^ f.lineMask
+		if f.pf != nil {
+			f.trainBuf = append(f.trainBuf, line)
+		}
 		if e := f.byLine[line]; e != nil && (!e.resolved || e.done > r.At) {
 			// Secondary miss: the line's fill is already in flight (or
 			// has a known future completion); wait on it, do not
-			// re-request the line.
+			// re-request the line. A demand MISS can only reach a
+			// still-live prefetch entry after its line left the L2 —
+			// and an untouched prefetched line scores PrefetchUseless
+			// at eviction — so this merge must not classify the same
+			// issue again (each issued prefetch gets exactly one
+			// outcome); it only reuses the in-flight fill's timing.
 			f.st.Merges++
+			if e.prefetch && !e.demanded {
+				e.classified = true
+			}
 			p.entries = append(p.entries, e)
 			continue
 		}
@@ -325,7 +410,131 @@ func (f *MSHRFile) Register(batch []dram.Request, occDone int64) *Pending {
 		p.entries = append(p.entries, e)
 		contribute()
 	}
+	for _, t := range pfTouch {
+		f.touchPrefetched(p, t)
+	}
+	if f.pf != nil {
+		for _, line := range f.trainBuf {
+			at := occDone
+			for _, cand := range f.pf.Observe(line) {
+				f.injectPrefetch(cand, at)
+			}
+		}
+	}
 	return p
+}
+
+// touchPrefetched resolves one demand touch of a prefetched L2 line:
+// classify the prefetch (hit when its fill completed by the touch,
+// late otherwise) and, while the fill is still outstanding, merge the
+// instruction onto the prefetch's MSHR entry so its handle waits. The
+// touched line also trains the stream table — a stream the prefetcher
+// covers perfectly would otherwise stop missing and go cold.
+func (f *MSHRFile) touchPrefetched(p *Pending, t PFTouch) {
+	line := t.Line &^ f.lineMask
+	if f.pf == nil {
+		return
+	}
+	f.trainBuf = append(f.trainBuf, line)
+	e := f.byLine[line]
+	if e == nil || !e.prefetch {
+		// The fill landed long ago and its entry was recycled.
+		f.pf.st.Hits++
+		return
+	}
+	if !e.demanded {
+		e.demanded, e.demandAt = true, t.At
+	}
+	if e.resolved {
+		if !e.classified {
+			f.classifyPrefetch(e)
+		}
+		if e.done > t.At {
+			p.entries = append(p.entries, e)
+		}
+		return
+	}
+	// Fill still pending: the classification falls out of the flush
+	// that resolves it, and the instruction waits on the entry.
+	p.entries = append(p.entries, e)
+}
+
+// prefetchQuota bounds how many MSHRs unresolved prefetches may hold
+// at once: a quarter of the file (at least one). Demand misses own the
+// rest — a dvload can claim 16 entries in one batch, and a file packed
+// with speculative fills would turn its allocation into a full-stall,
+// making the prefetcher throttle the very pipeline it accelerates.
+func (f *MSHRFile) prefetchQuota() int {
+	q := f.cap / 4
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// prefetchLive counts unresolved prefetch entries in the file.
+func (f *MSHRFile) prefetchLive() int {
+	n := 0
+	for _, e := range f.entries {
+		if e.prefetch && !e.resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// classifyPrefetch settles a demanded prefetch entry into the hit/late
+// split once its completion time is known.
+func (f *MSHRFile) classifyPrefetch(e *mshrEntry) {
+	if f.pf == nil || !e.prefetch || !e.demanded || e.classified {
+		return
+	}
+	e.classified = true
+	if e.done <= e.demandAt {
+		f.pf.st.Hits++
+	} else {
+		f.pf.st.Late++
+	}
+}
+
+// injectPrefetch files one predicted line as a prefetch-tagged MSHR
+// entry whose fill request joins the pending batch. Prefetches are
+// best-effort by design: a line already cached or in flight is
+// filtered, and a prediction that would need to stall — no free MSHR,
+// or a dirty victim bound for a write queue with no room — is dropped
+// on the floor rather than ever back-pressuring the demand pipeline.
+func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
+	line &^= f.lineMask
+	if f.l2.Contains(line) {
+		f.pf.st.Filtered++
+		return
+	}
+	if e := f.byLine[line]; e != nil && (!e.resolved || e.done > at) {
+		f.pf.st.Filtered++
+		return
+	}
+	f.free(at)
+	if len(f.entries) >= f.cap || f.prefetchLive() >= f.prefetchQuota() {
+		f.pf.st.DroppedMSHR++
+		return
+	}
+	if victim, dirty, _ := f.l2.PeekVictim(line); dirty &&
+		f.tim.Backend != nil && !f.tim.Backend.WriteRoom(victim) {
+		f.pf.st.DroppedWQ++
+		return
+	}
+	res := f.l2.FillPrefetch(line)
+	e := &mshrEntry{line: line, id: f.nextID, at: at, prefetch: true}
+	f.nextID++
+	f.entries = append(f.entries, e)
+	f.byLine[line] = e
+	f.pending = append(f.pending, dram.Request{Addr: line, At: at, ID: e.id, Prefetch: true})
+	f.pendByID[e.id] = e
+	if res.Writeback && f.tim.Backend != nil {
+		f.pending = append(f.pending, dram.Request{Addr: res.VictimAddr, Write: true, At: at, Prefetch: true})
+		f.st.Writebacks++
+	}
+	f.pf.st.Issued++
 }
 
 // Drain flushes anything still pending; callers then read final

@@ -19,6 +19,7 @@ func (c *countingBackend) Name() string          { return "counting" }
 func (c *countingBackend) Stats() *dram.Stats    { return &c.st }
 func (c *countingBackend) LineBytes() int        { return cache.L2LineBytes }
 func (c *countingBackend) MinReadLatency() int64 { return 100 }
+func (c *countingBackend) WriteRoom(uint64) bool { return true }
 func (c *countingBackend) Reset()                { c.batches = nil }
 func (c *countingBackend) Submit(batch []dram.Request) []dram.Completion {
 	c.batches = append(c.batches, append([]dram.Request(nil), batch...))
@@ -66,7 +67,7 @@ func TestBlockingModeMatchesSubmitMisses(t *testing.T) {
 	fileTim.MSHR = file
 	for i, b := range batches {
 		want := tmLegacy.SubmitMisses(append([]dram.Request(nil), b...), 50)
-		got, pend := fileTim.Complete(append([]dram.Request(nil), b...), 50)
+		got, pend := fileTim.Complete(append([]dram.Request(nil), b...), nil, 50)
 		if pend != nil {
 			t.Fatalf("batch %d: blocking mode returned a live handle", i)
 		}
@@ -96,8 +97,8 @@ func TestSecondaryMissMerges(t *testing.T) {
 	cb := &countingBackend{}
 	tim := mshrTiming(cb)
 	f := NewMSHRFile(tim, 8)
-	p1 := f.Register([]dram.Request{{Addr: 0x1000, At: 0}}, 20)
-	p2 := f.Register([]dram.Request{{Addr: 0x1040, At: 5}}, 25) // same 128B line
+	p1 := f.Register([]dram.Request{{Addr: 0x1000, At: 0}}, nil, 20)
+	p2 := f.Register([]dram.Request{{Addr: 0x1040, At: 5}}, nil, 25) // same 128B line
 	if got := f.Stats().Merges; got != 1 {
 		t.Fatalf("merges = %d, want 1", got)
 	}
@@ -114,7 +115,7 @@ func TestSecondaryMissMerges(t *testing.T) {
 
 	// Once the fill has landed, a fresh miss to the line (the cache
 	// evicted and re-missed it) allocates anew and re-submits.
-	p3 := f.Register([]dram.Request{{Addr: 0x1000, At: 500}}, 520)
+	p3 := f.Register([]dram.Request{{Addr: 0x1000, At: 500}}, nil, 520)
 	if p3.Done() != 600 {
 		t.Fatalf("post-fill re-miss done = %d, want 600", p3.Done())
 	}
@@ -132,8 +133,8 @@ func TestSecondaryMissMerges(t *testing.T) {
 func TestLazySubmissionAccumulates(t *testing.T) {
 	cb := &countingBackend{}
 	f := NewMSHRFile(mshrTiming(cb), 8)
-	p1 := f.Register([]dram.Request{{Addr: 0x1000, At: 0}, {Addr: 0x2000, At: 1}}, 21)
-	p2 := f.Register([]dram.Request{{Addr: 0x3000, At: 3}, {Addr: 0x4000, At: 4}}, 24)
+	p1 := f.Register([]dram.Request{{Addr: 0x1000, At: 0}, {Addr: 0x2000, At: 1}}, nil, 21)
+	p2 := f.Register([]dram.Request{{Addr: 0x3000, At: 3}, {Addr: 0x4000, At: 4}}, nil, 24)
 	if len(cb.batches) != 0 {
 		t.Fatalf("registration alone must not Submit (%d calls)", len(cb.batches))
 	}
@@ -169,7 +170,7 @@ func TestMSHRFullStallsAllocation(t *testing.T) {
 		{Addr: 0x1000, At: 0},
 		{Addr: 0x2000, At: 1},
 		{Addr: 0x3000, At: 2}, // no MSHR left: flush, wait for the first fill
-	}, 22)
+	}, nil, 22)
 	st := f.Stats()
 	if st.FullStalls != 1 {
 		t.Fatalf("full stalls = %d, want 1", st.FullStalls)
@@ -191,7 +192,7 @@ func TestWritebackRidesPendingBatch(t *testing.T) {
 	p := f.Register([]dram.Request{
 		{Addr: 0x1000, At: 0},
 		{Addr: 0x8000, Write: true, At: 0},
-	}, 20)
+	}, nil, 20)
 	if got := p.Done(); got != 100 {
 		t.Fatalf("done = %d, want 100 (write must not gate)", got)
 	}
@@ -216,7 +217,7 @@ func TestWritebackRidesPendingBatch(t *testing.T) {
 func TestMSHRFileFlatModel(t *testing.T) {
 	tim := Timing{L2Latency: 20, MemLatency: 100}
 	f := NewMSHRFile(tim, 4)
-	p := f.Register([]dram.Request{{Addr: 0x1000, At: 30}}, 50)
+	p := f.Register([]dram.Request{{Addr: 0x1000, At: 30}}, nil, 50)
 	if got, want := p.Done(), tim.SubmitMisses([]dram.Request{{Addr: 0x1000, At: 30}}, 50); got != want {
 		t.Fatalf("flat-model done = %d, want %d", got, want)
 	}

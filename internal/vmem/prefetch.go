@@ -1,0 +1,222 @@
+package vmem
+
+// This file implements the stream prefetcher that rides the MSHR batch:
+// a small table of stream trackers trained on the L2 line-miss address
+// stream (and on demand touches of previously prefetched lines, so a
+// stream the prefetcher is successfully covering keeps advancing).
+// Once a stream's stride is confirmed twice, every further advance
+// predicts the next Degree lines along the stride.
+//
+// The predictions never become their own memory traffic path: the MSHR
+// file injects each one as a prefetch-tagged MSHR entry whose line-fill
+// request joins the same lazily-submitted batch the demand misses ride,
+// so FR-FCFS sees prefetches and demands as one reorder window. A
+// prefetch entry never gates a Pending handle and never counts toward
+// an instruction's occupancy; when the MSHR file is full, or the fill
+// would evict a dirty victim onto a saturated write queue, the
+// prefetch is dropped on the floor — prefetching may never stall the
+// demand pipeline it exists to accelerate (see MSHRFile.injectPrefetch).
+//
+// EXPERIMENTS.md showed streaming kernels already running at 0.9+
+// row-buffer hit rates: their remaining DRAM time is latency, not
+// bandwidth. Fetching the predicted lines ahead of the demand stream
+// converts that latency into bandwidth — the media-memory play of the
+// source paper, with the batch API supplying the reorder window.
+
+// DefaultPFDegree is the prefetch degree used when a configuration
+// enables the prefetcher without choosing one: how many lines ahead of
+// the confirmed stream each advance keeps in flight.
+const DefaultPFDegree = 4
+
+// pfTrainWindow bounds, in lines, how far a miss may land from a
+// stream's last line and still (re)train its stride. It is
+// deliberately smaller than the row pitch of an HD frame (1920 bytes,
+// 15 L2 lines): a 2D kernel's intra-block misses walk whole rows
+// apart, and letting them capture trackers would destroy the per-row
+// horizontal streams that actually predict the block sweep (a
+// macroblock sweep revisits each pixel row's next line; it only
+// revisits the rows below the block if the vertical step says so).
+const pfTrainWindow = 8
+
+// PrefetchConfig sizes the prefetcher.
+type PrefetchConfig struct {
+	// Streams is the stream-table entry count (the number of
+	// independent miss streams tracked concurrently). 0 disables the
+	// prefetcher.
+	Streams int
+	// Degree is how many lines beyond the last confirmed miss each
+	// stream keeps requested. <= 0 selects DefaultPFDegree.
+	Degree int
+}
+
+// PrefetchStats counts the prefetcher's activity. Issued splits into
+// Hits (fill complete before the demand touch), Late (demand touched
+// the line while its fill was still in flight and merged with it as a
+// secondary miss), Useless (evicted from L2 untouched) and a residual
+// still in flight or unreferenced at the end of the run.
+type PrefetchStats struct {
+	Trains  uint64 // line observations fed to the stream table
+	Streams uint64 // stream-table allocations (new streams tracked)
+
+	Issued      uint64 // prefetch lines injected into the MSHR batch
+	DroppedMSHR uint64 // predictions dropped: no free MSHR
+	DroppedWQ   uint64 // predictions dropped: dirty victim, write queue full
+	Filtered    uint64 // predictions already cached or already in flight
+
+	Hits    uint64 // demand touches that found the fill complete
+	Late    uint64 // demand touches that waited on an in-flight fill
+	Useless uint64 // prefetched lines evicted from L2 untouched
+}
+
+// Accuracy is the fraction of issued prefetches a demand access
+// eventually wanted (late ones included — they still hid latency).
+func (s *PrefetchStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Late) / float64(s.Issued)
+}
+
+// stream is one tracked miss stream.
+type stream struct {
+	lastLine uint64 // most recent line observed for this stream
+	ahead    uint64 // furthest line already predicted along the stride
+	stride   int64  // line-to-line stride in bytes; 0 = not yet trained
+	conf     int    // confirmations of the current stride
+	lru      uint64
+}
+
+// Prefetcher is the stream table. It is pure prediction state: Observe
+// turns the miss stream into candidate line addresses, and the MSHR
+// file (which owns the L2, the entry budget and the pending batch)
+// decides each candidate's fate. Not safe for concurrent use, like the
+// rest of the simulator.
+type Prefetcher struct {
+	cfg       PrefetchConfig
+	lineBytes int64
+	streams   []stream
+	tick      uint64
+	preds     []uint64 // scratch: predictions of the current Observe
+	st        PrefetchStats
+}
+
+// NewPrefetcher builds a stream table. lineBytes is the L2 line size —
+// the granularity of both training addresses and predictions.
+func NewPrefetcher(cfg PrefetchConfig, lineBytes int) *Prefetcher {
+	if cfg.Degree <= 0 {
+		cfg.Degree = DefaultPFDegree
+	}
+	if cfg.Streams < 0 {
+		cfg.Streams = 0
+	}
+	return &Prefetcher{
+		cfg:       cfg,
+		lineBytes: int64(lineBytes),
+		streams:   make([]stream, 0, cfg.Streams),
+	}
+}
+
+// Config returns the prefetcher's configuration (with the degree
+// default applied).
+func (p *Prefetcher) Config() PrefetchConfig { return p.cfg }
+
+// Stats exposes the accumulated counters. Useless is maintained by the
+// MSHR file from the L2's eviction accounting.
+func (p *Prefetcher) Stats() *PrefetchStats { return &p.st }
+
+// further reports whether a lies strictly beyond b in the stream's
+// direction of travel.
+func further(a, b uint64, stride int64) bool {
+	if stride >= 0 {
+		return a > b
+	}
+	return a < b
+}
+
+// Observe trains the table on one demand line address (an L2 line miss,
+// or a demand touch of a prefetched line) and returns the line
+// addresses the matched stream now wants in flight, oldest first. The
+// returned slice is reused by the next call.
+func (p *Prefetcher) Observe(line uint64) []uint64 {
+	p.preds = p.preds[:0]
+	if p.cfg.Streams == 0 {
+		return p.preds
+	}
+	p.st.Trains++
+	p.tick++
+	window := pfTrainWindow * p.lineBytes
+
+	// Pass 1: an exact continuation of a trained stream wins over every
+	// other association, so interleaved streams don't steal each
+	// other's trackers.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if line == s.lastLine {
+			s.lru = p.tick
+			return p.preds
+		}
+		if s.stride != 0 && line == s.lastLine+uint64(s.stride) {
+			s.lastLine = line
+			s.lru = p.tick
+			if s.conf < 2 {
+				s.conf++
+			}
+			if s.conf >= 2 {
+				p.predict(s)
+			}
+			return p.preds
+		}
+	}
+	// Pass 2: a miss near a stream retrains its stride (first-to-second
+	// miss association, or a stream that changed step).
+	for i := range p.streams {
+		s := &p.streams[i]
+		delta := int64(line - s.lastLine)
+		if delta != 0 && delta >= -window && delta <= window {
+			s.stride = delta
+			s.conf = 1
+			s.lastLine = line
+			s.ahead = line
+			s.lru = p.tick
+			return p.preds
+		}
+	}
+	// No association: track a new stream, evicting the LRU tracker.
+	p.st.Streams++
+	ns := stream{lastLine: line, ahead: line, lru: p.tick}
+	if len(p.streams) < p.cfg.Streams {
+		p.streams = append(p.streams, ns)
+		return p.preds
+	}
+	victim := 0
+	for i := 1; i < len(p.streams); i++ {
+		if p.streams[i].lru < p.streams[victim].lru {
+			victim = i
+		}
+	}
+	p.streams[victim] = ns
+	return p.preds
+}
+
+// predict appends the stream's uncovered lines up to Degree ahead of
+// its last confirmed miss, advancing the ahead pointer.
+func (p *Prefetcher) predict(s *stream) {
+	if !further(s.ahead, s.lastLine, s.stride) {
+		// The pointer fell behind the demand stream (retrain, or the
+		// demands outran the prefetches): restart coverage at the
+		// demand point.
+		s.ahead = s.lastLine
+	}
+	for i := 1; i <= p.cfg.Degree; i++ {
+		cand := int64(s.lastLine) + int64(i)*s.stride
+		if cand < 0 {
+			break // the stream ran off the bottom of the address space
+		}
+		c := uint64(cand)
+		if !further(c, s.ahead, s.stride) {
+			continue // already requested on an earlier advance
+		}
+		p.preds = append(p.preds, c)
+		s.ahead = c
+	}
+}

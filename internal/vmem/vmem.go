@@ -49,6 +49,15 @@ type Timing struct {
 	// model); when set, batches register in the file and completion is
 	// read off the returned Pending handles.
 	MSHR *MSHRFile
+
+	// PFStreams/PFDegree size the stream prefetcher
+	// (core.NewMemSystem attaches it to the MSHR file): PFStreams
+	// stream-table entries, each keeping PFDegree lines in flight
+	// ahead of its confirmed stride. PFStreams 0 disables prefetching;
+	// enabling it requires a non-blocking file (MSHRs >= 2), because
+	// predicted lines ride the lazily-submitted MSHR batch.
+	PFStreams int
+	PFDegree  int
 }
 
 // DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
@@ -101,18 +110,25 @@ func (tm Timing) SubmitMisses(batch []dram.Request, t0 int64) int64 {
 // and the final completion returned (the blocking model); with a file
 // the batch registers and the caller receives a Pending handle — nil
 // when the completion is already final (blocking-mode file, or nothing
-// missed). occDone is the completion of the instruction's port/bank
-// occupancy and cache hits.
-func (tm Timing) Complete(batch []dram.Request, occDone int64) (int64, *Pending) {
+// missed). pfTouch lists the instruction's demand touches of
+// prefetched L2 lines (always empty without a prefetcher, which also
+// requires the file). occDone is the completion of the instruction's
+// port/bank occupancy and cache hits.
+func (tm Timing) Complete(batch []dram.Request, pfTouch []PFTouch, occDone int64) (int64, *Pending) {
 	if tm.MSHR == nil {
 		return tm.SubmitMisses(batch, occDone), nil
 	}
-	if len(batch) == 0 {
+	if len(batch) == 0 && len(pfTouch) == 0 {
 		return occDone, nil
 	}
-	p := tm.MSHR.Register(batch, occDone)
+	p := tm.MSHR.Register(batch, pfTouch, occDone)
 	if tm.MSHR.Blocking() {
 		return p.Done(), nil
+	}
+	if len(p.entries) == 0 {
+		// Nothing outstanding (every touched prefetch had already
+		// landed): the occupancy time is final.
+		return occDone, nil
 	}
 	return occDone, p
 }
@@ -193,6 +209,7 @@ type MultiBanked struct {
 	st      Stats
 	scratch []isa.ElemAccess
 	batch   []dram.Request
+	pfBuf   []PFTouch
 }
 
 // NewMultiBanked builds the multi-banked subsystem over the shared L2.
@@ -215,6 +232,7 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	m.st.Instructions++
 	m.scratch = in.ElemAddrs(m.scratch[:0])
 	m.batch = m.batch[:0]
+	m.pfBuf = m.pfBuf[:0]
 	done := t0
 	for _, el := range m.scratch {
 		m.st.Elements++
@@ -248,6 +266,9 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 				m.st.Misses++
 				m.batch = append(m.batch, dram.Request{Addr: addr, At: ct})
 			}
+			if res.Prefetched {
+				m.pfBuf = append(m.pfBuf, PFTouch{Line: m.l2.LineAddr(addr), At: ct})
+			}
 			if res.Writeback && m.tim.Backend != nil {
 				m.batch = append(m.batch, dram.Request{Addr: res.VictimAddr, Write: true, At: ct})
 			}
@@ -261,7 +282,7 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	// exposes is visible to the scheduler at once. Bank conflicts make
 	// the per-word times non-monotonic; the backend orders arrivals
 	// itself.
-	return m.tim.Complete(m.batch, done)
+	return m.tim.Complete(m.batch, m.pfBuf, done)
 }
 
 func (m *MultiBanked) access(addr uint64, store bool) cache.Result {
@@ -286,6 +307,7 @@ type VectorCache struct {
 	missBuf  []uint64
 	wbBuf    []uint64
 	batch    []dram.Request
+	pfBuf    []PFTouch
 }
 
 // NewVectorCache builds the vector cache subsystem over the shared L2.
@@ -308,6 +330,7 @@ func (v *VectorCache) Stats() *Stats { return &v.st }
 func (v *VectorCache) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 	v.st.Instructions++
 	v.batch = v.batch[:0]
+	v.pfBuf = v.pfBuf[:0]
 	done := t0
 	access := func(addr uint64, words int, elems int) {
 		t := t0
@@ -319,7 +342,7 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 		v.st.Words += uint64(words)
 		v.st.Elements += uint64(elems)
 		ct := t + v.tim.L2Latency
-		if missed := v.lookup(addr, uint64(words*8), in.IsStore); len(missed) > 0 {
+		if missed := v.lookup(addr, uint64(words*8), in.IsStore, ct); len(missed) > 0 {
 			v.st.Misses++
 			for _, a := range missed {
 				v.batch = append(v.batch, dram.Request{Addr: a, At: ct})
@@ -345,7 +368,7 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 			v.st.D3Words += uint64(in.Width)
 		}
 		// The whole instruction's misses form one controller batch.
-		return v.tim.Complete(v.batch, done)
+		return v.tim.Complete(v.batch, v.pfBuf, done)
 	}
 
 	switch {
@@ -384,15 +407,16 @@ func (v *VectorCache) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 		}
 	}
 	// The whole instruction's misses form one controller batch.
-	return v.tim.Complete(v.batch, done)
+	return v.tim.Complete(v.batch, v.pfBuf, done)
 }
 
 // lookup touches every L2 line the access spans (at most two for 2D
 // accesses, two for 128-byte 3D elements) and returns the line
 // addresses that missed; each becomes one main-memory request. Dirty
-// victims evicted by the fills land in wbBuf as pending write-backs.
-// Both slices are reused across calls.
-func (v *VectorCache) lookup(addr, bytes uint64, store bool) []uint64 {
+// victims evicted by the fills land in wbBuf as pending write-backs;
+// demand touches of prefetched lines land in pfBuf stamped with the
+// access's completion cycle ct. The slices are reused across calls.
+func (v *VectorCache) lookup(addr, bytes uint64, store bool, ct int64) []uint64 {
 	if bytes == 0 {
 		bytes = 8
 	}
@@ -405,6 +429,9 @@ func (v *VectorCache) lookup(addr, bytes uint64, store bool) []uint64 {
 		res := v.l2.Access(a, store, false)
 		if !res.Hit {
 			v.missBuf = append(v.missBuf, a)
+		}
+		if res.Prefetched {
+			v.pfBuf = append(v.pfBuf, PFTouch{Line: a, At: ct})
 		}
 		if res.Writeback {
 			v.wbBuf = append(v.wbBuf, res.VictimAddr)
