@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench fmt-check vet
+.PHONY: verify build test test-race bench rpsweep fmt-check vet
 
 verify: build test
 
@@ -20,13 +20,21 @@ test-race:
 # bench runs every benchmark exactly once as a perf-path smoke test:
 # a panic or regression in the hot simulation loops breaks the build
 # without paying for a full statistical benchmarking run. The momsim
-# invocations smoke the non-blocking memory pipeline (-mshr 8) and the
-# stream prefetcher riding it (-mshr 16 -pf 8) on the full-size
-# gsmencode stream, paths the Go benchmarks do not cross.
+# invocations smoke the non-blocking memory pipeline (-mshr 8), the
+# stream prefetcher riding it (-mshr 16 -pf 8), and the history row
+# predictor under prefetch traffic (-rp history -pf 8) on the
+# full-size gsmencode stream, paths the Go benchmarks do not cross.
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 8
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 16 -pf 8
+	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 16 -rp history -pf 8
+
+# rpsweep regenerates the full-size per-bank row-policy matrix
+# (EXPERIMENTS.md's reference table): open/close/timer/history ×
+# demand-only and prefetch traffic on the streaming kernels.
+rpsweep:
+	go run ./cmd/momexp -rpsweep -q
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

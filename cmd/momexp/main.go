@@ -11,9 +11,11 @@
 //	momexp -dramsweep   the fixed-vs-SDRAM main-memory comparison
 //	momexp -mshrsweep   the blocking-vs-MSHR non-blocking pipeline sweep
 //	momexp -pfsweep     the stream-prefetcher sweep over the streaming kernels
+//	momexp -rpsweep     the per-bank row-policy sweep (open/close/timer/history)
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
 //	momexp -mshr 8      ... with an 8-entry MSHR file (non-blocking pipeline)
 //	momexp -mshr 16 -pf 8  ... with a stream prefetcher riding the MSHR batch
+//	momexp -dram sdram -rp history  ... under the live/dead row predictor
 //	momexp -q           suppress per-simulation progress
 package main
 
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/dram"
+	"repro/internal/dram/policy"
 	"repro/internal/experiments"
 )
 
@@ -33,18 +36,21 @@ func main() {
 	dramsweep := flag.Bool("dramsweep", false, "print only the fixed-vs-SDRAM sweep")
 	mshrsweep := flag.Bool("mshrsweep", false, "print only the blocking-vs-MSHR pipeline sweep")
 	pfsweep := flag.Bool("pfsweep", false, "print only the stream-prefetcher sweep (streaming kernels)")
+	rpsweep := flag.Bool("rpsweep", false, "print only the per-bank row-policy sweep (streaming kernels)")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
 	dprof := flag.String("dprof", "", "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
 	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
 	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
-	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = drain fully)")
-	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
+	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = profile default, -1 = drain fully)")
+	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = profile default, -1 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
+	rp := flag.String("rp", "", "sdram per-bank row policy: open, close, timer[:<idle>], history")
 	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model)")
 	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
 	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
+	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -59,7 +65,7 @@ func main() {
 	dramKnobSet, dramSet, mshrSet, pfSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin", "rp", "pfq":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -97,10 +103,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -pfsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
+	if *rpsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -rpsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-rp/-mshr/-pf")
+		os.Exit(2)
+	}
 	if *dramName != "" {
+		// An unset -rp leaves the knob zero (the preset's static open);
+		// an explicit value, "open" included, must parse.
+		var rpSpec policy.Spec
+		if *rp != "" {
+			var err error
+			if rpSpec, err = policy.Parse(*rp); err != nil {
+				fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin,
 			WQLow: *dwql, WQIdle: int64(*dwqi), MSHRs: *mshr,
-			PFStreams: *pf, PFDegree: *pfd}
+			PFStreams: *pf, PFDegree: *pfd, PFQ: *pfq, RP: rpSpec}
 		// One build call validates backend kind, mapping, scheduler,
 		// profile and knobs; the runner would only panic on a bad spec
 		// much later.
@@ -122,6 +142,8 @@ func main() {
 		fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
 	case *pfsweep:
 		fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
+	case *rpsweep:
+		fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -148,7 +170,7 @@ func main() {
 		// The sweeps fix their own backend configurations; with explicit
 		// dram flags they would silently disregard them, so skip them.
 		if dramSet || dramKnobSet || mshrSet || pfSet {
-			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM, MSHR and prefetch sweeps (they compare their own backend configurations)")
+			fmt.Fprintln(os.Stderr, "momexp: skipping the DRAM, MSHR, prefetch and row-policy sweeps (they compare their own backend configurations)")
 		} else {
 			fmt.Print(experiments.RenderDRAMSweep(experiments.DRAMSweep(r)))
 			fmt.Println()
@@ -157,6 +179,8 @@ func main() {
 			fmt.Print(experiments.RenderMSHRSweep(experiments.MSHRSweep(r)))
 			fmt.Println()
 			fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
+			fmt.Println()
+			fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())

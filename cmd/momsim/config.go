@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/dram/policy"
 	"repro/internal/kernels"
 	"repro/internal/vmem"
 )
@@ -20,6 +21,7 @@ type options struct {
 	DMap   string
 	DSched string
 	DProf  string
+	RP     string
 	DChan  int
 	DWQ    int
 	DWQL   int
@@ -28,6 +30,7 @@ type options struct {
 	MSHR   int
 	PF     int
 	PFD    int
+	PFQ    int
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
@@ -37,7 +40,7 @@ type options struct {
 func defaultOptions() options {
 	return options{
 		Bench: "mpeg2encode", ISA: "mom3d", Mem: "vcache3d",
-		DRAM: "fixed", DMap: "line", DSched: "frfcfs", DProf: "ddr",
+		DRAM: "fixed", DMap: "line", DSched: "frfcfs", DProf: "ddr", RP: "open",
 		L2Lat: 20, MemLat: 100,
 	}
 }
@@ -68,9 +71,13 @@ func resolve(o options) (runConfig, error) {
 	if err != nil {
 		return rc, err
 	}
+	rp, err := policy.Parse(o.RP)
+	if err != nil {
+		return rc, err
+	}
 	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin,
 		WQLow: o.DWQL, WQIdle: int64(o.DWQI), MSHRs: o.MSHR,
-		PFStreams: o.PF, PFDegree: o.PFD}
+		PFStreams: o.PF, PFDegree: o.PFD, PFQ: o.PFQ, RP: rp}
 	backend, err := dram.BuildOpts(o.DRAM, o.DMap, o.DSched, o.DProf, knobs, o.MemLat)
 	if err != nil {
 		return rc, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/dram/policy"
 	"repro/internal/kernels"
 )
 
@@ -107,6 +108,58 @@ func TestResolvePrefetch(t *testing.T) {
 	}
 }
 
+func TestResolveRowPolicy(t *testing.T) {
+	o := defaultOptions()
+	o.DRAM, o.RP = "sdram", "history"
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(rp history): %v", err)
+	}
+	cfg := rc.Timing.Backend.(*dram.SDRAM).Config()
+	if cfg.RowPolicy.Kind != policy.History {
+		t.Errorf("row policy not applied: %+v", cfg.RowPolicy)
+	}
+	if got := rc.Timing.Backend.Name(); got != "sdram(line,frfcfs,history)" {
+		t.Errorf("backend = %q, want sdram(line,frfcfs,history)", got)
+	}
+	// The timer takes its idle gap through the same flag.
+	o = defaultOptions()
+	o.DRAM, o.RP = "sdram", "timer:77"
+	if rc, err = resolve(o); err != nil {
+		t.Fatalf("resolve(rp timer:77): %v", err)
+	}
+	cfg = rc.Timing.Backend.(*dram.SDRAM).Config()
+	if cfg.RowPolicy.Kind != policy.Timer || cfg.RowPolicy.Idle != 77 {
+		t.Errorf("timer policy not applied: %+v", cfg.RowPolicy)
+	}
+	// The default is the static open page — today's behaviour.
+	if rc, err = resolve(defaultOptions()); err != nil || rc.Timing.Backend.Name() != "fixed" {
+		t.Errorf("default resolve: %v (err %v)", rc.Timing.Backend, err)
+	}
+}
+
+func TestResolvePrefetchQueueCap(t *testing.T) {
+	o := defaultOptions()
+	o.DRAM, o.MSHR, o.PF, o.PFQ = "sdram", 16, 8, 4
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(pfq): %v", err)
+	}
+	cfg := rc.Timing.Backend.(*dram.SDRAM).Config()
+	if cfg.PFQCap != 4 {
+		t.Errorf("pfq cap not applied: %+v", cfg)
+	}
+	// Unset, the controller defaults to half the read queue.
+	o = defaultOptions()
+	o.DRAM = "sdram"
+	if rc, err = resolve(o); err != nil {
+		t.Fatalf("resolve(sdram): %v", err)
+	}
+	if cfg := rc.Timing.Backend.(*dram.SDRAM).Config(); cfg.PFQCap != cfg.QueueDepth/2 {
+		t.Errorf("pfq default = %d, want %d", cfg.PFQCap, cfg.QueueDepth/2)
+	}
+}
+
 func TestResolveWriteDrainKnobs(t *testing.T) {
 	o := defaultOptions()
 	o.DRAM, o.DWQ, o.DWQL, o.DWQI = "sdram", 8, 2, 50
@@ -147,6 +200,11 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"pfd-no-pf", func(o *options) { o.MSHR = 8; o.PFD = 4 }, "stream count"},
 		{"pf-ideal", func(o *options) { o.Mem = "ideal"; o.MSHR = 8; o.PF = 8 }, "-mshr"},
 		{"dwql-above-drain", func(o *options) { o.DRAM = "sdram"; o.DWQ = 4; o.DWQL = 6 }, "watermark"},
+		{"rp-unknown", func(o *options) { o.DRAM = "sdram"; o.RP = "lru" }, "row policy"},
+		{"rp-timer-zero", func(o *options) { o.DRAM = "sdram"; o.RP = "timer:0" }, "idle gap"},
+		{"rp-arg-on-open", func(o *options) { o.DRAM = "sdram"; o.RP = "open:5" }, "parameter"},
+		{"pfq-no-pf", func(o *options) { o.DRAM = "sdram"; o.MSHR = 8; o.PFQ = 4 }, "stream count"},
+		{"pfq-negative", func(o *options) { o.DRAM = "sdram"; o.MSHR = 8; o.PF = 4; o.PFQ = -1 }, "knobs"},
 	}
 	for _, c := range cases {
 		o := defaultOptions()

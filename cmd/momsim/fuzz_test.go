@@ -14,34 +14,38 @@ import (
 // DRAM backend. The checked-in corpus under testdata/fuzz/FuzzResolve
 // replays known-interesting combinations as regular test cases.
 func FuzzResolve(f *testing.F) {
-	add := func(bench, isa, mem, dram, dmap, dsched, dprof string,
-		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd int, l2, mlat int64) {
-		f.Add(bench, isa, mem, dram, dmap, dsched, dprof,
-			dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, l2, mlat)
+	add := func(bench, isa, mem, dram, dmap, dsched, dprof, rp string,
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64) {
+		f.Add(bench, isa, mem, dram, dmap, dsched, dprof, rp,
+			dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq, l2, mlat)
 	}
 	d := defaultOptions()
-	add(d.Bench, d.ISA, d.Mem, d.DRAM, d.DMap, d.DSched, d.DProf,
-		0, 0, 0, 0, 0, 0, 0, 0, d.L2Lat, d.MemLat)
-	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "hbm",
-		4, 8, 2, 50, 16, 16, 8, 4, 20, 100)
-	add("motionsearch", "mom", "vcache", "sdram", "bank", "fcfs", "ddr",
-		0, 0, 0, 0, 0, 8, 0, 0, 40, 100)
-	add("jpegencode", "mmx", "multibanked", "fixed", "line", "frfcfs", "ddr",
-		0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
-	add("mpeg2decode", "mom3d", "ideal", "fixed", "line", "frfcfs", "ddr",
-		0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
-	add("quake3", "avx512", "dcache", "hbm", "xor", "rr", "lpddr",
-		3, -1, 9, -2, -1, -5, 1, -1, -20, -100)
-	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "",
-		0, 0, 0, 0, 0, 1, 8, 0, 20, 100) // pf over a blocking file: rejected
+	add(d.Bench, d.ISA, d.Mem, d.DRAM, d.DMap, d.DSched, d.DProf, d.RP,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, d.L2Lat, d.MemLat)
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "hbm", "history",
+		4, 8, 2, 50, 16, 16, 8, 4, 4, 20, 100)
+	add("motionsearch", "mom", "vcache", "sdram", "bank", "fcfs", "ddr", "timer:150",
+		0, 0, 0, 0, 0, 8, 0, 0, 0, 40, 100)
+	add("jpegencode", "mmx", "multibanked", "fixed", "line", "frfcfs", "ddr", "open",
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+	add("mpeg2decode", "mom3d", "ideal", "fixed", "line", "frfcfs", "ddr", "open",
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+	add("quake3", "avx512", "dcache", "hbm", "xor", "rr", "lpddr", "lru",
+		3, -1, 9, -2, -1, -5, 1, -1, -3, -20, -100)
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "close",
+		0, 0, 0, 0, 0, 1, 8, 0, 0, 20, 100) // pf over a blocking file: rejected
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "timer:0",
+		0, 0, 0, 0, 0, 16, 8, 0, 0, 20, 100) // zero timer gap: rejected
+	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "open",
+		0, 0, 0, 0, 0, 16, 0, 0, 8, 20, 100) // pfq without pf: rejected
 
-	f.Fuzz(func(t *testing.T, bench, isa, mem, dram, dmap, dsched, dprof string,
-		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd int, l2, mlat int64) {
+	f.Fuzz(func(t *testing.T, bench, isa, mem, dram, dmap, dsched, dprof, rp string,
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64) {
 		rc, err := resolve(options{
 			Bench: bench, ISA: isa, Mem: mem,
-			DRAM: dram, DMap: dmap, DSched: dsched, DProf: dprof,
+			DRAM: dram, DMap: dmap, DSched: dsched, DProf: dprof, RP: rp,
 			DChan: dchan, DWQ: dwq, DWQL: dwql, DWQI: dwqi, DWin: dwin,
-			MSHR: mshr, PF: pf, PFD: pfd,
+			MSHR: mshr, PF: pf, PFD: pfd, PFQ: pfq,
 			L2Lat: l2, MemLat: mlat,
 		})
 		if err != nil {

@@ -10,14 +10,18 @@
 // controller; -dmap picks the address mapping, -dsched the scheduler,
 // -dprof the timing profile (ddr/hbm), and -dchan/-dwq/-dwql/-dwqi/
 // -dwin override the channel count, write-queue drain threshold, drain
-// low watermark, idle-drain gap and FR-FCFS reorder window). -mshr N
-// enables the non-blocking memory pipeline: N miss-status holding
-// registers decouple instruction issue from memory completion (N=1 is
-// the bit-exact blocking compatibility mode; 0, the default, keeps the
-// legacy blocking path). -pf N adds a stream prefetcher over the MSHR
-// file (N stream-table entries; -pfd picks how many lines each stream
-// keeps in flight): predicted L2 lines join the lazy MSHR batch as
-// prefetch entries that never stall the demand pipeline.
+// low watermark, idle-drain gap and FR-FCFS reorder window). -rp picks
+// the per-bank row policy (open, close, timer[:<idle>], history — the
+// 2-bit live/dead predictor). -mshr N enables the non-blocking memory
+// pipeline: N miss-status holding registers decouple instruction issue
+// from memory completion (N=1 is the bit-exact blocking compatibility
+// mode; 0, the default, keeps the legacy blocking path). -pf N adds a
+// stream prefetcher over the MSHR file (N stream-table entries; -pfd
+// picks how many lines each stream keeps in flight): predicted L2
+// lines join the lazy MSHR batch as prefetch entries that never stall
+// the demand pipeline — the channel scheduler services demand reads
+// first, and -pfq caps how many speculative reads may sit in one
+// channel's read queue.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/dram/policy"
 	"repro/internal/kernels"
 	"repro/internal/power"
 	"repro/internal/trace"
@@ -43,12 +48,14 @@ func main() {
 	dprof := flag.String("dprof", def.DProf, "sdram timing profile: ddr (commodity DIMM), hbm (die-stacked)")
 	dchan := flag.Int("dchan", 0, "sdram channel count override (power of two; 0 = profile default)")
 	dwq := flag.Int("dwq", 0, "sdram write-queue drain threshold override (0 = profile default)")
-	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = drain fully)")
-	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = off)")
+	dwql := flag.Int("dwql", 0, "sdram write-queue partial-drain low watermark (0 = profile default, -1 = drain fully)")
+	dwqi := flag.Int("dwqi", 0, "sdram idle-bus opportunistic write-drain gap in cycles (0 = profile default, -1 = off)")
 	dwin := flag.Int("dwin", 0, "sdram FR-FCFS reorder-window override (0 = profile default)")
+	rp := flag.String("rp", def.RP, "sdram per-bank row policy: open, close, timer[:<idle>], history")
 	mshr := flag.Int("mshr", 0, "MSHR count for the non-blocking memory pipeline (0 = blocking model, 1 = blocking via the MSHR file)")
 	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
 	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
+	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
@@ -60,7 +67,7 @@ func main() {
 	dramKnobSet, dramSet, mlatSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin", "rp", "pfq":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -74,9 +81,9 @@ func main() {
 
 	rc, err := resolve(options{
 		Bench: *benchName, ISA: *isaName, Mem: *memName,
-		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof,
+		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof, RP: *rp,
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
-		MSHR: *mshr, PF: *pf, PFD: *pfd,
+		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
 	})
 	if err != nil {
@@ -154,13 +161,21 @@ func main() {
 		fmt.Printf("dram (%s): %d requests, %.2f bytes/cycle\n",
 			ms.DRAM().Name(), ds.Accesses, ds.AchievedBandwidth())
 		// Row-buffer and queue metrics only exist on the banked model.
-		if _, ok := ms.DRAM().(*dram.SDRAM); ok {
+		if sd, ok := ms.DRAM().(*dram.SDRAM); ok {
 			fmt.Printf("dram rows: hit rate %.3f (%d hit / %d miss / %d conflict), %d refreshes\n",
 				ds.RowHitRate(), ds.RowHits, ds.RowMisses, ds.RowConflicts, ds.Refreshes)
+			if cfg := sd.Config(); cfg.RowPolicy != (policy.Spec{}) || ds.RowClosedEarly > 0 {
+				fmt.Printf("dram row policy (%s): %d closed early, %d reopened, %d predictor flips\n",
+					cfg.RowPolicy, ds.RowClosedEarly, ds.RowReopened, ds.PredictorFlips)
+			}
 			fmt.Printf("dram queue: avg %.2f (max %d), %d stall cycles, bank-level parallelism %.2f, bus utilization %.2f\n",
 				ds.AvgQueueOccupancy(), ds.QueueMax, ds.StallCycles, ds.BankLevelParallelism(), ds.BusUtilization())
-			fmt.Printf("dram batches: %d posted writes (%d drains, %d partial, %d opportunistic), %d FR-FCFS row-hit promotions\n",
+			fmt.Printf("dram batches: %d posted writes (%d drains, %d partial, %d opportunistic), %d window promotions (row-hit or demand-first)\n",
 				ds.Writes, ds.WriteDrains, ds.PartialDrains, ds.OppDrains, ds.Reordered)
+			if ds.PrefetchReads > 0 {
+				fmt.Printf("dram prefetch reads: %d (%d deferred by the pfq%d cap)\n",
+					ds.PrefetchReads, ds.PrefetchDeferred, sd.Config().PFQCap)
+			}
 			if ds.WriteReadStall > 0 {
 				fmt.Printf("dram write-induced read stall: %d bus cycles\n", ds.WriteReadStall)
 			}

@@ -1,11 +1,12 @@
 // Dramsweep explores the banked SDRAM backend behind the L2 as a
 // standalone program. For the two most memory-intensive workloads it
-// crosses every address mapping with both schedulers and both page
-// policies, then sweeps the channel count (the batched transaction API
-// fans an instruction's misses across per-channel controller shards)
-// and compares the commodity-DDR profile against the die-stacked HBM
-// profile, reporting cycles, row-buffer behaviour and achieved DRAM
-// bandwidth against the seed's flat 100-cycle model.
+// crosses every address mapping with both schedulers and the static
+// open/close row policies, then sweeps the channel count (the batched
+// transaction API fans an instruction's misses across per-channel
+// controller shards) and compares the commodity-DDR profile against
+// the die-stacked HBM profile, reporting cycles, row-buffer behaviour
+// and achieved DRAM bandwidth against the seed's flat 100-cycle model.
+// The full row-policy cross (timer, history) lives in momexp -rpsweep.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/dram/policy"
 	"repro/internal/kernels"
 	"repro/internal/trace"
 	"repro/internal/vmem"
@@ -47,9 +49,9 @@ func main() {
 		}
 		for _, mapping := range []dram.Mapping{dram.MapLine, dram.MapBank, dram.MapRow} {
 			for _, sched := range []dram.Scheduler{dram.FRFCFS, dram.FCFS} {
-				for _, policy := range []dram.PagePolicy{dram.OpenPage, dram.ClosedPage} {
+				for _, rp := range []policy.Spec{{Kind: policy.Open}, {Kind: policy.Close}} {
 					cfg := dram.DefaultConfig()
-					cfg.Mapping, cfg.Scheduler, cfg.Policy = mapping, sched, policy
+					cfg.Mapping, cfg.Scheduler, cfg.RowPolicy = mapping, sched, rp
 					sd := dram.NewSDRAM(cfg)
 					report(sd, sd.Name())
 				}

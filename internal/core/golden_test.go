@@ -70,6 +70,14 @@ func goldenKey(bench string, v kernels.Variant, spec string) string {
 
 // measureGolden runs the whole golden matrix and returns key → row.
 func measureGolden(t *testing.T) map[string]goldenRow {
+	return measureGoldenSpecs(t, func(spec string) string { return spec })
+}
+
+// measureGoldenSpecs is measureGolden with the backend spec of each
+// configuration passed through transform; rows stay keyed by the
+// untransformed spec so the result compares against the checked-in
+// table (or a plain measureGolden run) row for row.
+func measureGoldenSpecs(t *testing.T, transform func(string) string) map[string]goldenRow {
 	t.Helper()
 	variants := []struct {
 		v    kernels.Variant
@@ -85,9 +93,9 @@ func measureGolden(t *testing.T) map[string]goldenRow {
 			tr := &trace.Trace{}
 			bm.Run(vk.v, tr)
 			for _, spec := range goldenSpecs {
-				backend, knobs, err := dram.ParseSpecFull(spec, 100)
+				backend, knobs, err := dram.ParseSpecFull(transform(spec), 100)
 				if err != nil {
-					t.Fatalf("spec %q: %v", spec, err)
+					t.Fatalf("spec %q: %v", transform(spec), err)
 				}
 				cfg := MOMCore()
 				if vk.v == kernels.MMX {
@@ -181,6 +189,32 @@ func TestGoldenStats(t *testing.T) {
 		}
 		if g != w {
 			t.Errorf("%s:\n  golden   %s\n  measured %s", key, w, g)
+		}
+	}
+}
+
+// TestRowPolicyOpenMatchesGolden pins the rpopen spec token bit-
+// identical to the PR 4 model across the whole golden-stats matrix:
+// naming the default row policy explicitly must reproduce every pinned
+// cycle, commit, miss and request count of the table the sdram rows
+// were generated against. (The policy subsystem running its default is
+// already covered by TestGoldenStats; this adds the spec-token path.)
+func TestRowPolicyOpenMatchesGolden(t *testing.T) {
+	want := loadGolden(t)
+	got := measureGoldenSpecs(t, func(spec string) string {
+		if !strings.HasPrefix(spec, "sdram") {
+			return spec // rp tokens are controller knobs; fixed has no banks
+		}
+		return spec + "/rpopen"
+	})
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: configuration not measured", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: rpopen diverged from the golden table:\n  golden   %s\n  measured %s", key, w, g)
 		}
 	}
 }

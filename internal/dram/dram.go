@@ -41,11 +41,24 @@ type Request struct {
 
 	// Prefetch marks a request the stream prefetcher injected (a
 	// predicted line fill, or the write-back its fill evicted) rather
-	// than one a demand miss generated. Scheduling treats both kinds
-	// identically — a prefetch in the batch is exactly as visible to
-	// FR-FCFS as a demand read — but the statistics keep them apart.
+	// than one a demand miss generated. The statistics keep the two
+	// kinds apart, and the channel scheduler deprioritizes speculative
+	// reads: within the FR-FCFS window demands go first, and a
+	// per-channel occupancy cap (Config.PFQCap) bounds how many
+	// prefetch reads may hold queue slots at once.
+	//
+	// Demanded marks a prefetch a demand access merged onto before the
+	// batch was submitted (a late prefetch): its data is already on an
+	// instruction's critical path, so the scheduler treats it with full
+	// demand priority while the statistics still count it as a
+	// prefetch.
 	Prefetch bool
+	Demanded bool
 }
+
+// speculative reports whether the scheduler should treat the request
+// as deprioritizable speculative traffic.
+func (r *Request) speculative() bool { return r.Prefetch && !r.Demanded }
 
 // Completion reports the outcome of one Request. Done is the cycle the
 // data transfer completes for reads, and the cycle the write is
@@ -119,8 +132,9 @@ type Stats struct {
 	BusyCycles   uint64 // data-bus busy cycles summed over channels
 	Bytes        uint64 // bytes transferred
 
-	// Reordered counts FR-FCFS promotions: a row hit in the visible
-	// window serviced ahead of an older request. WriteDrains counts
+	// Reordered counts FR-FCFS promotions: a row hit — or, under the
+	// demand-aware pick, a demand read ahead of an older prefetch — in
+	// the visible window serviced ahead of an older request. WriteDrains counts
 	// write-queue drain events; PartialDrains counts the subset that
 	// stopped at the low watermark instead of emptying the queue, and
 	// OppDrains counts writes retired opportunistically on an idle bus
@@ -138,7 +152,22 @@ type Stats struct {
 	// PrefetchReads counts line fills the stream prefetcher injected
 	// (the Prefetch-tagged reads); they are included in Accesses like
 	// any other read, so demand reads are Reads() - PrefetchReads.
-	PrefetchReads uint64
+	// PrefetchDeferred counts the subset the per-channel occupancy cap
+	// (Config.PFQCap) held back until an earlier speculative read
+	// completed — the demand-priority scheduler's pressure valve.
+	PrefetchReads    uint64
+	PrefetchDeferred uint64
+
+	// Row-policy accounting (internal/dram/policy): RowClosedEarly
+	// counts rows a policy precharged before a conflict or refresh
+	// would have (auto-precharge closes and fired idle timers);
+	// RowReopened counts the subset the very next access to the bank
+	// re-activated — the wasted closes; PredictorFlips counts history-
+	// predictor decision changes (a bank crossing between live and
+	// dead).
+	RowClosedEarly uint64
+	RowReopened    uint64
+	PredictorFlips uint64
 
 	// QueueSum accumulates the controller-queue occupancy sampled at
 	// each read arrival (counting the arriving request); QueueMax

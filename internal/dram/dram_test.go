@@ -1,9 +1,14 @@
 package dram
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/dram/policy"
+)
 
 // testConfig is a tiny single-channel part with refresh disabled so
-// individual command latencies are exactly predictable.
+// individual command latencies are exactly predictable. The zero-valued
+// RowPolicy is the static open page.
 func testConfig() Config {
 	return Config{
 		Channels: 1, Ranks: 1, Banks: 1,
@@ -11,7 +16,7 @@ func testConfig() Config {
 		TRCD: 10, TCAS: 5, TRP: 7, TBurst: 4,
 		TREFI: 0, TRFC: 0,
 		QueueDepth: 16,
-		Mapping:    MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+		Mapping:    MapLine, Scheduler: FRFCFS,
 	}
 }
 
@@ -46,7 +51,7 @@ func TestRowMissHitConflictTiming(t *testing.T) {
 
 func TestClosedPagePolicy(t *testing.T) {
 	cfg := testConfig()
-	cfg.Policy = ClosedPage
+	cfg.RowPolicy = policy.Spec{Kind: policy.Close}
 	s := NewSDRAM(cfg)
 
 	if got, want := s.Access(0, 0), int64(19); got != want {

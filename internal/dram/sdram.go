@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/dram/policy"
 )
 
 // Mapping selects how a physical address is decomposed into channel,
@@ -91,26 +92,6 @@ func ParseScheduler(s string) (Scheduler, error) {
 	return 0, fmt.Errorf("unknown scheduler %q (fcfs, frfcfs)", s)
 }
 
-// PagePolicy selects what a bank does with its row buffer after an
-// access.
-type PagePolicy int
-
-const (
-	// OpenPage leaves the accessed row open, betting on locality.
-	OpenPage PagePolicy = iota
-	// ClosedPage precharges immediately after every access: no row
-	// hits, no row conflicts.
-	ClosedPage
-)
-
-// String names the policy.
-func (p PagePolicy) String() string {
-	if p == ClosedPage {
-		return "closed"
-	}
-	return "open"
-}
-
 // Config describes one SDRAM part and its controller. All counts must
 // be powers of two (the controller knobs — queue depths and the reorder
 // window — may be any positive value) and all latencies are in CPU
@@ -148,15 +129,32 @@ type Config struct {
 	WQLow  int
 	WQIdle int64
 
+	// PFQCap bounds how many prefetch-tagged reads may occupy one
+	// channel's read queue at once: a prefetch arriving at the cap is
+	// deferred until the earliest in-flight prefetch on its channel
+	// completes, so speculative traffic can never crowd demand reads
+	// out of more than its share of the queue. 0 defaults to half the
+	// queue depth; QueueDepth or more effectively disables the cap.
+	PFQCap int
+
 	Mapping   Mapping
 	Scheduler Scheduler
-	Policy    PagePolicy
+
+	// RowPolicy selects the per-bank row-buffer management policy
+	// (internal/dram/policy): static open (the zero value, the
+	// historical behaviour), static close, idle-timer close, or the
+	// 2-bit history live/dead predictor.
+	RowPolicy policy.Spec
 }
 
 // DefaultConfig is the commodity-DDR preset: a two-channel, two-rank,
 // four-bank part whose row-miss service time is comparable to the
 // seed's flat 100-cycle DRAM, so row hits run faster than the seed and
-// row conflicts slower.
+// row conflicts slower. The write-drain watermark and idle-bus gap
+// ship tuned (WQLow 4, WQIdle 30): on write-heavy motionsearch
+// reconstruction they shave ~1.4k cycles (ddr) and ~1.9k cycles with
+// all write-induced read stall (hbm) — see the study in
+// EXPERIMENTS.md; a zero-valued Config still runs both off.
 func DefaultConfig() Config {
 	return Config{
 		Channels: 2, Ranks: 2, Banks: 4,
@@ -164,7 +162,8 @@ func DefaultConfig() Config {
 		TRCD: 30, TCAS: 40, TRP: 30, TBurst: 8, TTurn: 4,
 		TREFI: 7800, TRFC: 120,
 		QueueDepth: 16, ReorderWindow: 8, WQDepth: 16, WQDrain: 12,
-		Mapping: MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+		WQLow: 4, WQIdle: 30,
+		Mapping: MapLine, Scheduler: FRFCFS,
 	}
 }
 
@@ -172,6 +171,20 @@ type bank struct {
 	freeAt  int64
 	openRow int64
 	open    bool
+
+	// closeAt is the pending idle-timer precharge deadline the row
+	// policy set after the last access (0 = none). The close is
+	// materialized lazily: the next access to the bank (or the pick
+	// loop's rowOpenAt consultation) observes whether the deadline
+	// passed first.
+	closeAt int64
+	// lastRow and used feed the policy's training oracle: would the
+	// next access have hit the row the bank last used?
+	lastRow int64
+	used    bool
+	// early marks a row the policy precharged before its natural close;
+	// the next access checks it to count wasted closes (RowReopened).
+	early bool
 }
 
 // channel is one controller shard: banks, data bus, command
@@ -185,6 +198,8 @@ type channel struct {
 	cmdFree     int64     // FCFS: command issue serialization point
 	nextRefresh int64     // next refresh epoch boundary
 	inflight    []int64   // completion times of queued reads
+	pfInflight  []int64   // completion times of queued prefetch reads (PFQCap)
+	demandFirst bool      // speculative pressure seen: pick demands first
 	writeQ      []Request // posted writes awaiting a threshold drain
 }
 
@@ -199,6 +214,7 @@ type decoded struct {
 type SDRAM struct {
 	cfg   Config
 	chans []channel
+	rp    policy.RowPolicy
 	st    Stats
 
 	lineShift, colBits, rowBits, chanBits, bankBits uint
@@ -257,8 +273,21 @@ func NewSDRAM(cfg Config) *SDRAM {
 	if cfg.TREFI > 0 && cfg.TRFC >= cfg.TREFI {
 		panic("dram: refresh duration must be shorter than the refresh interval")
 	}
+	if cfg.PFQCap < 0 {
+		panic("dram: prefetch queue cap must not be negative")
+	}
+	if cfg.PFQCap == 0 {
+		cfg.PFQCap = cfg.QueueDepth / 2
+		if cfg.PFQCap < 1 {
+			cfg.PFQCap = 1
+		}
+	}
+	if cfg.RowPolicy.Kind == policy.Timer && cfg.RowPolicy.Idle <= 0 {
+		panic("dram: timer row policy needs a positive idle gap")
+	}
 	s := &SDRAM{
 		cfg:       cfg,
+		rp:        cfg.RowPolicy.New(cfg.Channels * cfg.Ranks * cfg.Banks),
 		lineShift: log2(cfg.LineBytes),
 		colBits:   log2(cfg.RowBytes / cfg.LineBytes),
 		rowBits:   log2(cfg.RowsPerBank),
@@ -271,6 +300,12 @@ func NewSDRAM(cfg Config) *SDRAM {
 	return s
 }
 
+// globalBank is the part-wide bank index the row policy keys its
+// per-bank state by.
+func (s *SDRAM) globalBank(ch, bk int) int {
+	return ch*s.cfg.Ranks*s.cfg.Banks + bk
+}
+
 func log2(n int) uint {
 	var b uint
 	for 1<<b < n {
@@ -281,7 +316,7 @@ func log2(n int) uint {
 
 // Name implements Backend.
 func (s *SDRAM) Name() string {
-	return fmt.Sprintf("sdram(%s,%s,%s)", s.cfg.Mapping, s.cfg.Scheduler, s.cfg.Policy)
+	return fmt.Sprintf("sdram(%s,%s,%s)", s.cfg.Mapping, s.cfg.Scheduler, s.cfg.RowPolicy)
 }
 
 // Stats implements Backend.
@@ -310,11 +345,13 @@ func (s *SDRAM) Config() Config { return s.cfg }
 // Reset implements Backend.
 func (s *SDRAM) Reset() {
 	s.st = Stats{}
+	s.rp.Reset()
 	for c := range s.chans {
 		s.chans[c] = channel{
 			banks:       make([]bank, s.cfg.Ranks*s.cfg.Banks),
 			nextRefresh: s.cfg.TREFI,
 			inflight:    make([]int64, 0, s.cfg.QueueDepth),
+			pfInflight:  make([]int64, 0, s.cfg.QueueDepth),
 			writeQ:      make([]Request, 0, s.cfg.WQDepth),
 		}
 	}
@@ -411,10 +448,12 @@ func (s *SDRAM) burst(c *channel, ready int64, write bool) int64 {
 }
 
 // service runs one request through the bank and bus of its channel:
-// refresh catch-up, row management, column access and data burst,
-// leaving the row buffer per the page policy. arrival must already
-// include any queue back-pressure.
-func (s *SDRAM) service(c *channel, bi int, row, arrival int64, write bool) int64 {
+// refresh catch-up, any pending idle-timer precharge, row management,
+// column access and data burst, leaving the row buffer per the row
+// policy's decision. arrival must already include any queue
+// back-pressure.
+func (s *SDRAM) service(ci, bi int, row, arrival int64, write bool) int64 {
+	c := &s.chans[ci]
 	s.refreshUpTo(c, arrival)
 	bk := &c.banks[bi]
 	serviceStart := func() int64 {
@@ -424,13 +463,43 @@ func (s *SDRAM) service(c *channel, bi int, row, arrival int64, write bool) int6
 		}
 		return start
 	}
-	start := serviceStart()
 	// A busy bank can carry the service past refresh boundaries the
 	// arrival had not reached; those refreshes still close the rows
 	// before the request is served.
-	for s.cfg.TREFI > 0 && start >= c.nextRefresh {
-		s.refreshUpTo(c, start)
-		start = serviceStart()
+	catchUp := func() int64 {
+		start := serviceStart()
+		for s.cfg.TREFI > 0 && start >= c.nextRefresh {
+			s.refreshUpTo(c, start)
+			start = serviceStart()
+		}
+		return start
+	}
+	start := catchUp()
+	// Materialize a pending idle-timer close: the policy's deadline
+	// passed while the row sat open, so the precharge fired at closeAt
+	// and occupies the bank for TRP from there — an access landing
+	// inside that window waits the precharge out, one landing later
+	// finds the bank idle and closed.
+	if bk.open && bk.closeAt > 0 && start >= bk.closeAt {
+		bk.open = false
+		bk.early = true
+		s.st.RowClosedEarly++
+		if pre := bk.closeAt + s.cfg.TRP; pre > bk.freeAt {
+			bk.freeAt = pre
+		}
+		start = catchUp()
+	}
+	// Train the policy against the open-page oracle — would this access
+	// have hit the row the bank last used? — and account a close the
+	// very next access undoes as wasted (the row had to be reopened).
+	if bk.used {
+		sameRow := row == bk.lastRow
+		if bk.early && sameRow {
+			s.st.RowReopened++
+		}
+		if s.rp.Train(s.globalBank(ci, bi), sameRow) {
+			s.st.PredictorFlips++
+		}
 	}
 
 	colIssue := start + s.rowLatency(bk, row)
@@ -440,12 +509,21 @@ func (s *SDRAM) service(c *channel, bi int, row, arrival int64, write bool) int6
 	done := s.burst(c, colIssue+s.cfg.TCAS, write)
 
 	bk.freeAt = done
-	if s.cfg.Policy == ClosedPage {
+	bk.lastRow, bk.used = row, true
+	bk.closeAt, bk.early = 0, false
+	switch gap := s.rp.CloseAfter(s.globalBank(ci, bi)); {
+	case gap == policy.KeepOpen:
+		bk.open, bk.openRow = true, row
+	case gap == 0:
+		// Auto-precharge rides the burst: the bank is busy TRP longer
+		// and the next access activates from idle.
 		bk.freeAt += s.cfg.TRP
 		bk.open = false
-	} else {
-		bk.open = true
-		bk.openRow = row
+		bk.early = true
+		s.st.RowClosedEarly++
+	default:
+		bk.open, bk.openRow = true, row
+		bk.closeAt = done + gap
 	}
 	return done
 }
@@ -484,11 +562,66 @@ func (s *SDRAM) admitRead(c *channel, t0 int64) int64 {
 	return arrival
 }
 
+// pfUnderCap reports whether the channel could take one more
+// speculative read at cycle t without crossing PFQCap — the same
+// occupancy bound admitPrefetch enforces, consulted by the pick loop
+// before it promotes a speculative row hit over a waiting demand.
+func (s *SDRAM) pfUnderCap(c *channel, t int64) bool {
+	n := 0
+	for _, done := range c.pfInflight {
+		if done > t {
+			n++
+		}
+	}
+	return n < s.cfg.PFQCap
+}
+
+// admitPrefetch applies the per-channel cap on speculative read-queue
+// occupancy: a prefetch arriving while PFQCap prefetch reads are still
+// in flight on its channel is deferred until the earliest of them
+// completes (counted in PrefetchDeferred), so speculative traffic can
+// never crowd demand reads out of more than its share of the bounded
+// queue. Crossing the cap also latches the channel into demand-first
+// picking (see scheduleReads): a channel whose speculative stream has
+// once outrun its share keeps demands ahead of it from then on.
+// Demand reads pass through untouched.
+func (s *SDRAM) admitPrefetch(c *channel, t0 int64) int64 {
+	live := c.pfInflight[:0]
+	for _, done := range c.pfInflight {
+		if done > t0 {
+			live = append(live, done)
+		}
+	}
+	c.pfInflight = live
+	if len(c.pfInflight) < s.cfg.PFQCap {
+		return t0
+	}
+	s.st.PrefetchDeferred++
+	c.demandFirst = true
+	for len(c.pfInflight) >= s.cfg.PFQCap {
+		earliest := 0
+		for i := 1; i < len(c.pfInflight); i++ {
+			if c.pfInflight[i] < c.pfInflight[earliest] {
+				earliest = i
+			}
+		}
+		if d := c.pfInflight[earliest]; d > t0 {
+			t0 = d
+		}
+		c.pfInflight = append(c.pfInflight[:earliest], c.pfInflight[earliest+1:]...)
+	}
+	return t0
+}
+
 // serviceRead runs one read through its channel, including queue
-// back-pressure and the bank-level-parallelism sample, and returns its
+// back-pressure (and the prefetch occupancy cap for speculative
+// reads) and the bank-level-parallelism sample, and returns its
 // completion cycle.
-func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64) int64 {
+func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool) int64 {
 	c := &s.chans[ch]
+	if prefetch {
+		t0 = s.admitPrefetch(c, t0)
+	}
 	arrival := s.admitRead(c, t0)
 	s.opportunisticDrain(ch, bi, arrival)
 	// Bank-level parallelism: banks already busy at arrival, across the
@@ -500,8 +633,11 @@ func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64) int64 {
 			}
 		}
 	}
-	done := s.service(c, bi, row, arrival, false)
+	done := s.service(ch, bi, row, arrival, false)
 	c.inflight = append(c.inflight, done)
+	if prefetch {
+		c.pfInflight = append(c.pfInflight, done)
+	}
 	s.st.observe(t0, done, s.cfg.LineBytes)
 	return done
 }
@@ -526,7 +662,7 @@ func (s *SDRAM) drainWrites(ci int, t int64, keep int) {
 	n := len(c.writeQ) - keep
 	for _, w := range c.writeQ[:n] {
 		_, bi, row := s.decode(w.Addr)
-		done := s.service(c, bi, row, max(t, w.At), true)
+		done := s.service(ci, bi, row, max(t, w.At), true)
 		// The drain's bus time must stay inside the bandwidth window,
 		// or drained bytes would report as transferred in zero cycles.
 		if done > s.st.LastDone {
@@ -537,12 +673,15 @@ func (s *SDRAM) drainWrites(ci int, t int64, keep int) {
 }
 
 // peekRowLatency is rowLatency without the statistics side effects,
-// used to estimate a write's service time before committing to it.
-func (s *SDRAM) peekRowLatency(bk *bank, row int64) int64 {
+// used to estimate a write's service time before committing to it. at
+// is the cycle the estimate is for: a row whose idle-timer deadline
+// passed by then counts as closed.
+func (s *SDRAM) peekRowLatency(bk *bank, row, at int64) int64 {
+	open := bk.open && (bk.closeAt == 0 || at < bk.closeAt)
 	switch {
-	case bk.open && bk.openRow == row:
+	case open && bk.openRow == row:
 		return 0
-	case !bk.open:
+	case !open:
 		return s.cfg.TRCD
 	default:
 		return s.cfg.TRP + s.cfg.TRCD
@@ -577,7 +716,7 @@ func (s *SDRAM) opportunisticDrain(ci int, readBank int, arrival int64) {
 		if s.cfg.Scheduler == FCFS {
 			colStart = max(colStart, c.cmdFree)
 		}
-		colIssue := colStart + s.peekRowLatency(bk, row)
+		colIssue := colStart + s.peekRowLatency(bk, row, colStart)
 		busReady := c.busFree
 		if !c.busWrite { // switching read→write pays the turnaround
 			busReady += s.cfg.TTurn
@@ -587,7 +726,7 @@ func (s *SDRAM) opportunisticDrain(ci int, readBank int, arrival int64) {
 			kept = append(kept, c.writeQ[i:]...)
 			break
 		}
-		done := s.service(c, bi, row, w.At, true)
+		done := s.service(ci, bi, row, w.At, true)
 		if done > s.st.LastDone {
 			s.st.LastDone = done
 		}
@@ -611,11 +750,94 @@ func (s *SDRAM) postWrite(ci int, w Request) int64 {
 	return ack
 }
 
+// rowOpenAt reports whether the bank's row buffer still holds row when
+// a request arriving at cycle at reaches it: the row must be open, no
+// refresh epoch may close it first, and a pending idle-timer precharge
+// must not have fired — the pick loop's consultation of the row policy
+// when it decides what a bank going idle is worth.
+func (s *SDRAM) rowOpenAt(c *channel, bk *bank, row, at int64) bool {
+	if !bk.open || bk.openRow != row {
+		return false
+	}
+	if s.cfg.TREFI > 0 && at >= c.nextRefresh {
+		return false
+	}
+	return bk.closeAt == 0 || at < bk.closeAt
+}
+
+// scheduleReads services one channel's pending reads through the
+// demand-aware FR-FCFS reorder window. While the channel's speculative
+// occupancy sits below PFQCap, speculation is harmless and the classic
+// pick runs unchanged: the oldest row hit in the first ReorderWindow
+// pending requests (still a hit under the row policy's pending
+// closes), demand or prefetch alike, else the oldest request. Once
+// prefetch reads hold their whole PFQCap share of the queue — the same
+// occupancy bound admitPrefetch enforces — the pick turns demand-first:
+// a demand row hit, then the oldest demand, and a speculative read
+// only when the window holds no demand at all. Prefetches a demand has
+// already merged onto (Request.Demanded — the late prefetches whose
+// fills gate instructions) count as demands throughout:
+// deprioritizing them would push back the very completions the
+// pipeline is waiting on. FCFS keeps strict arrival order. pend must
+// be sorted by arrival and is consumed.
+func (s *SDRAM) scheduleReads(ch int, batch []Request, pend []int) {
+	c := &s.chans[ch]
+	for len(pend) > 0 {
+		pick := 0
+		if s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1 {
+			w := len(pend)
+			if w > s.cfg.ReorderWindow {
+				w = s.cfg.ReorderWindow
+			}
+			// Speculative reads keep full FR-FCFS standing until the
+			// channel's speculative stream first overruns its PFQCap
+			// share (the admitPrefetch deferral latch).
+			classic := !c.demandFirst
+			pick = -1
+			demandHit, demand, pfHit := -1, -1, -1
+			for i := 0; i < w; i++ {
+				d := s.dec[pend[i]]
+				hit := s.rowOpenAt(c, &c.banks[d.bk], d.row, batch[pend[i]].At)
+				if batch[pend[i]].speculative() && !classic {
+					if hit && pfHit < 0 && s.pfUnderCap(c, batch[pend[i]].At) {
+						pfHit = i
+					}
+					continue
+				}
+				if hit {
+					demandHit = i
+					break
+				}
+				if demand < 0 {
+					demand = i
+				}
+			}
+			switch {
+			case demandHit >= 0:
+				pick = demandHit
+			case demand >= 0:
+				pick = demand
+			case pfHit >= 0:
+				pick = pfHit
+			default:
+				pick = 0
+			}
+		}
+		if pick != 0 {
+			s.st.Reordered++
+		}
+		i := pend[pick]
+		pend = append(pend[:pick], pend[pick+1:]...)
+		d := s.dec[i]
+		s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At, batch[i].speculative())
+	}
+}
+
 // Submit implements Backend. The batch fans out across channels; each
-// channel schedules its reads through the FR-FCFS reorder window (row
-// hits within the first ReorderWindow pending requests are promoted
-// over older conflicts; FCFS keeps strict arrival order), then posts
-// the batch's writes into its write queue.
+// channel schedules its reads through the demand-aware FR-FCFS reorder
+// window (demand row hits, then demands, then prefetch row hits, then
+// arrival order — and speculative reads are additionally capped by
+// PFQCap), then posts the batch's writes into its write queue.
 func (s *SDRAM) Submit(batch []Request) []Completion {
 	s.comps = s.comps[:0]
 	if len(batch) == 0 {
@@ -640,52 +862,22 @@ func (s *SDRAM) Submit(batch []Request) []Completion {
 		ch, bk, row := s.decode(r.Addr)
 		s.dec = append(s.dec, decoded{ch: ch, bk: bk, row: row})
 		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch, ID: r.ID}
-		if r.Write {
+		switch {
+		case r.Write:
 			s.wOrder = append(s.wOrder, i)
-		} else {
+		default:
 			if r.Prefetch {
 				s.st.PrefetchReads++
 			}
 			s.perChan[ch] = append(s.perChan[ch], i)
 		}
 	}
-	for ch := range s.perChan {
-		pend := s.perChan[ch]
-		sort.SliceStable(pend, func(a, b int) bool { return batch[pend[a]].At < batch[pend[b]].At })
-	}
 
 	// Reads first (read priority), each channel independent.
 	for ch := range s.perChan {
 		pend := s.perChan[ch]
-		c := &s.chans[ch]
-		for len(pend) > 0 {
-			pick := 0
-			if s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1 {
-				w := len(pend)
-				if w > s.cfg.ReorderWindow {
-					w = s.cfg.ReorderWindow
-				}
-				for i := 0; i < w; i++ {
-					d := s.dec[pend[i]]
-					bk := &c.banks[d.bk]
-					// A refresh due before the candidate's arrival will
-					// close the row, so don't promote it as a hit.
-					if bk.open && bk.openRow == d.row &&
-						(s.cfg.TREFI <= 0 || batch[pend[i]].At < c.nextRefresh) {
-						pick = i
-						break
-					}
-				}
-			}
-			if pick != 0 {
-				s.st.Reordered++
-			}
-			i := pend[pick]
-			pend = append(pend[:pick], pend[pick+1:]...)
-			d := s.dec[i]
-			s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At)
-		}
-		s.perChan[ch] = pend
+		sort.SliceStable(pend, func(a, b int) bool { return batch[pend[a]].At < batch[pend[b]].At })
+		s.scheduleReads(ch, batch, pend)
 	}
 
 	// Then the batch's writes, in arrival order.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/dram/policy"
 )
 
 // Preset selects a timing profile for the SDRAM model: a commodity DDR
@@ -49,7 +51,8 @@ func (p Preset) Config() Config {
 			TRCD: 14, TCAS: 16, TRP: 14, TBurst: 16, TTurn: 2,
 			TREFI: 3900, TRFC: 140,
 			QueueDepth: 16, ReorderWindow: 8, WQDepth: 16, WQDrain: 12,
-			Mapping: MapLine, Scheduler: FRFCFS, Policy: OpenPage,
+			WQLow: 4, WQIdle: 30,
+			Mapping: MapLine, Scheduler: FRFCFS,
 		}
 	}
 	return DefaultConfig()
@@ -62,12 +65,26 @@ func (p Preset) Config() Config {
 // — BuildOpts validates it but callers thread it into vmem.Timing
 // themselves (ParseSpecFull returns the parsed knobs for that).
 type Knobs struct {
-	Channels int   // -dchan / "<n>ch": channel count (power of two)
-	WQDrain  int   // -dwq / "wq<n>": write-queue drain threshold
-	Window   int   // -dwin / "win<n>": FR-FCFS reorder window
-	WQLow    int   // -dwql / "wql<n>": partial-drain low watermark
-	WQIdle   int64 // -dwqi / "wqi<n>": idle-bus opportunistic-drain gap
-	MSHRs    int   // -mshr / "mshr<n>": vmem MSHR file size (1 = blocking)
+	Channels int // -dchan / "<n>ch": channel count (power of two)
+	WQDrain  int // -dwq / "wq<n>": write-queue drain threshold
+	Window   int // -dwin / "win<n>": FR-FCFS reorder window
+
+	// WQLow (-dwql / "wql<n>") and WQIdle (-dwqi / "wqi<n>") override
+	// the partial-drain low watermark and the idle-bus opportunistic-
+	// drain gap. Since the presets ship both tuned on, zero means
+	// "keep the preset's setting" like every other knob, and -1 (spec
+	// "wql0" / "wqi0") explicitly disables the feature.
+	WQLow  int
+	WQIdle int64
+
+	MSHRs int // -mshr / "mshr<n>": vmem MSHR file size (1 = blocking)
+
+	// RP is the per-bank row policy (-rp / "rp<name>[:<n>]"); the zero
+	// value keeps the preset's static open page. PFQ caps per-channel
+	// prefetch read-queue occupancy (-pfq / "pfq<n>"; 0 = the
+	// controller default of half the queue depth).
+	RP  policy.Spec
+	PFQ int
 
 	// PFStreams/PFDegree size the vmem-level stream prefetcher
 	// (-pf / -pfd, spec "pf<n>" or "pf<n>d<m>"): stream-table entries
@@ -88,15 +105,38 @@ func (k Knobs) apply(cfg Config) Config {
 		if cfg.WQDepth < cfg.WQDrain {
 			cfg.WQDepth = cfg.WQDrain
 		}
+		// A knob that shrinks the drain threshold below the preset's
+		// tuned watermark drops the watermark rather than erroring; an
+		// explicit wql knob is applied (and conflict-checked) below.
+		if cfg.WQLow >= cfg.WQDrain {
+			cfg.WQLow = 0
+		}
 	}
 	if k.Window > 0 {
 		cfg.ReorderWindow = k.Window
 	}
 	if k.WQLow > 0 {
 		cfg.WQLow = k.WQLow
+	} else if k.WQLow == -1 {
+		cfg.WQLow = 0 // explicit off: threshold drains empty the queue
 	}
 	if k.WQIdle > 0 {
 		cfg.WQIdle = k.WQIdle
+	} else if k.WQIdle == -1 {
+		cfg.WQIdle = 0 // explicit off: no idle-bus drains
+	}
+	if k.RP != (policy.Spec{}) {
+		// An explicit rpopen canonicalizes to the zero spec, so a
+		// configuration that names the default compares (and simulates)
+		// identically to one that omits it.
+		if k.RP.Kind == policy.Open {
+			cfg.RowPolicy = policy.Spec{}
+		} else {
+			cfg.RowPolicy = k.RP
+		}
+	}
+	if k.PFQ > 0 {
+		cfg.PFQCap = k.PFQ
 	}
 	return cfg
 }
@@ -135,13 +175,16 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 		}
 	}
 	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 ||
-		knobs.WQLow < 0 || knobs.WQIdle < 0 || knobs.MSHRs < 0 ||
-		knobs.PFStreams < 0 || knobs.PFDegree < 0 {
-		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d, pf %d, pfd %d)",
-			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs, knobs.PFStreams, knobs.PFDegree)
+		knobs.WQLow < -1 || knobs.WQIdle < -1 || knobs.MSHRs < 0 ||
+		knobs.PFStreams < 0 || knobs.PFDegree < 0 || knobs.PFQ < 0 {
+		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d, pf %d, pfd %d, pfq %d; wq low/idle -1 = explicitly off)",
+			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs, knobs.PFStreams, knobs.PFDegree, knobs.PFQ)
 	}
 	if knobs.PFDegree > 0 && knobs.PFStreams == 0 {
 		return nil, fmt.Errorf("prefetch degree %d needs a stream count (-pf / pf<n>)", knobs.PFDegree)
+	}
+	if knobs.PFQ > 0 && knobs.PFStreams == 0 {
+		return nil, fmt.Errorf("prefetch queue cap %d needs a stream count (-pf / pf<n>)", knobs.PFQ)
 	}
 	if knobs.PFStreams > 0 && knobs.MSHRs < 2 {
 		return nil, fmt.Errorf("the stream prefetcher rides the MSHR batch: pf %d needs a non-blocking MSHR file (mshr >= 2, have %d)",
@@ -166,15 +209,15 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 
 // ValidateFlagCombo rejects explicitly-set command-line knobs that the
 // selected backend kind would silently ignore: the sdram-only knobs
-// (-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin) only take
-// effect on the sdram backend, -mlat only on the fixed backend. -mshr
-// is deliberately absent: the MSHR file sits above the backend and
-// applies to every kind. Both simulator binaries share this policy so
-// their CLI contracts agree.
+// (-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin/-rp/-pfq) only
+// take effect on the sdram backend, -mlat only on the fixed backend.
+// -mshr is deliberately absent: the MSHR file sits above the backend
+// and applies to every kind. Both simulator binaries share this policy
+// so their CLI contracts agree.
 func ValidateFlagCombo(kind string, sdramKnobSet, mlatSet bool) error {
 	kind = strings.ToLower(kind)
 	if sdramKnobSet && kind != "sdram" {
-		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin require -dram sdram")
+		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin/-rp/-pfq require -dram sdram")
 	}
 	if mlatSet && kind == "sdram" {
 		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
@@ -192,10 +235,10 @@ func FormatSpec(kind, mapping, sched string) string {
 
 // FormatSpecOpts renders the full
 // "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/wql<n>]
-// [/wqi<n>][/win<n>][/mshr<n>][/pf<n>d<m>]" form; zero-valued knobs
-// and an empty profile are omitted. The mshr and pf knobs survive on
-// the fixed kind too — they configure the vmem layer, not the
-// controller.
+// [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/mshr<n>][/pf<n>d<m>]"
+// form; zero-valued knobs and an empty profile are omitted. The mshr
+// and pf knobs survive on the fixed kind too — they configure the vmem
+// layer, not the controller.
 func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	kind = strings.ToLower(kind)
 	s := kind
@@ -212,12 +255,22 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 		}
 		if knobs.WQLow > 0 {
 			s += fmt.Sprintf("/wql%d", knobs.WQLow)
+		} else if knobs.WQLow == -1 {
+			s += "/wql0"
 		}
 		if knobs.WQIdle > 0 {
 			s += fmt.Sprintf("/wqi%d", knobs.WQIdle)
+		} else if knobs.WQIdle == -1 {
+			s += "/wqi0"
 		}
 		if knobs.Window > 0 {
 			s += fmt.Sprintf("/win%d", knobs.Window)
+		}
+		if knobs.RP != (policy.Spec{}) {
+			s += "/rp" + knobs.RP.String()
+		}
+		if knobs.PFQ > 0 {
+			s += fmt.Sprintf("/pfq%d", knobs.PFQ)
 		}
 	}
 	if knobs.MSHRs > 0 {
@@ -234,12 +287,28 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 }
 
 // parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
-// "wql<n>", "wqi<n>", "win<n>", "mshr<n>", "pf<n>" and "pf<n>d<m>".
-// Longer prefixes are tried first so "wql2" never half-matches "wq".
+// "wql<n>", "wqi<n>", "win<n>", "rp<name>[:<n>]", "pfq<n>", "mshr<n>",
+// "pf<n>" and "pf<n>d<m>". Longer prefixes are tried first so "wql2"
+// never half-matches "wq" and "pfq8" never half-matches "pf".
 func parseKnob(tok string, k *Knobs) bool {
 	if n, ok := strings.CutSuffix(tok, "ch"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v > 0 {
 			k.Channels = v
+			return true
+		}
+		return false
+	}
+	if n, ok := strings.CutPrefix(tok, "rp"); ok {
+		sp, err := policy.Parse(n)
+		if err != nil {
+			return false
+		}
+		k.RP = sp
+		return true
+	}
+	if n, ok := strings.CutPrefix(tok, "pfq"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			k.PFQ = v
 			return true
 		}
 		return false
@@ -270,19 +339,24 @@ func parseKnob(tok string, k *Knobs) bool {
 	for _, p := range []struct {
 		prefix string
 		dst    func(int)
+		zeroOK bool // "<prefix>0" is an explicit off (stored as -1)
 	}{
-		{"mshr", func(v int) { k.MSHRs = v }},
-		{"wql", func(v int) { k.WQLow = v }},
-		{"wqi", func(v int) { k.WQIdle = int64(v) }},
-		{"wq", func(v int) { k.WQDrain = v }},
-		{"win", func(v int) { k.Window = v }},
+		{"mshr", func(v int) { k.MSHRs = v }, false},
+		{"wql", func(v int) { k.WQLow = v }, true},
+		{"wqi", func(v int) { k.WQIdle = int64(v) }, true},
+		{"wq", func(v int) { k.WQDrain = v }, false},
+		{"win", func(v int) { k.Window = v }, false},
 	} {
 		if n, ok := strings.CutPrefix(tok, p.prefix); ok {
-			if v, err := strconv.Atoi(n); err == nil && v > 0 {
-				p.dst(v)
-				return true
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 0 || (v == 0 && !p.zeroOK) {
+				return false
 			}
-			return false
+			if v == 0 {
+				v = -1 // the presets ship the feature on; 0 turns it off
+			}
+			p.dst(v)
+			return true
 		}
 	}
 	return false
@@ -300,7 +374,8 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 //
 //	fixed[/mshr<n>][/pf<n>[d<m>]]
 //	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/wql<n>]
-//	     [/wqi<n>][/win<n>][/mshr<n>][/pf<n>[d<m>]]
+//	     [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/mshr<n>]
+//	     [/pf<n>[d<m>]]
 //
 // Omitted sdram fields default to line/frfcfs/ddr; knob segments may
 // appear anywhere after the kind. Every segment must parse: an
@@ -336,7 +411,7 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		}
 		if err != nil {
 			return nil, Knobs{}, fmt.Errorf(
-				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> mshr<n> pf<n>[d<m>])",
+				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> rp<open|close|timer[:<n>]|history> pfq<n> mshr<n> pf<n>[d<m>])",
 				tok, spec)
 		}
 		pos++

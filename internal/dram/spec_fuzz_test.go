@@ -31,10 +31,21 @@ func FuzzParseSpec(f *testing.F) {
 		"sdram/line/frfcfs/hbm/4ch/wq8/wql2/wqi50/win16/mshr8/pf8d4",
 		"sdram/line/frfcfs/mshr16/pf48d2",
 		"sdram/8ch",
-		"sdram/pf8",     // rejected: pf without mshr >= 2
-		"sdram/msrh8",   // rejected: misspelled knob
-		"sdram//frfcfs", // rejected: empty positional token
-		"fixed/line",    // rejected: controller segment on fixed
+		"sdram/rpopen",
+		"sdram/rpclose/mshr8",
+		"sdram/line/frfcfs/rptimer:150",
+		"sdram/line/frfcfs/rptimer",
+		"sdram/rphistory/mshr64/pf48d2/pfq4",
+		"sdram/rphistory:3",   // rejected: only timer takes a parameter
+		"sdram/rptimer:0",     // rejected: non-positive idle gap
+		"sdram/rplru",         // rejected: unknown policy
+		"fixed/rpopen",        // rejected: controller knob on fixed
+		"sdram/mshr8/pfq2",    // rejected: pfq without pf
+		"sdram/mshr8/pf4/pfq", // rejected: pfq with no count
+		"sdram/pf8",           // rejected: pf without mshr >= 2
+		"sdram/msrh8",         // rejected: misspelled knob
+		"sdram//frfcfs",       // rejected: empty positional token
+		"fixed/line",          // rejected: controller segment on fixed
 		"sdram/line/frfcfs/pf0d4",
 		"",
 		"/",

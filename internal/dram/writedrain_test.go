@@ -135,3 +135,33 @@ func TestWriteDrainKnobValidation(t *testing.T) {
 		t.Errorf("knobs not applied: %+v", cfg)
 	}
 }
+
+// TestWriteDrainExplicitOff: the presets ship the tuned drains on, so
+// "wql0"/"wqi0" (flags -dwql -1 / -dwqi -1) must explicitly disable
+// them — and an unset knob must keep the preset's values.
+func TestWriteDrainExplicitOff(t *testing.T) {
+	def, err := ParseSpec("sdram/line/frfcfs", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := def.(*SDRAM).Config(); cfg.WQLow != 4 || cfg.WQIdle != 30 {
+		t.Fatalf("preset drains not on by default: %+v", cfg)
+	}
+	off, err := ParseSpec("sdram/line/frfcfs/wql0/wqi0", 100)
+	if err != nil {
+		t.Fatalf("explicit off rejected: %v", err)
+	}
+	if cfg := off.(*SDRAM).Config(); cfg.WQLow != 0 || cfg.WQIdle != 0 {
+		t.Fatalf("wql0/wqi0 did not disable the drains: %+v", cfg)
+	}
+	// The off form round-trips through the canonical renderer.
+	if got := FormatSpecOpts("sdram", "line", "frfcfs", "", Knobs{WQLow: -1, WQIdle: -1}); got != "sdram/line/frfcfs/wql0/wqi0" {
+		t.Fatalf("FormatSpecOpts(off) = %q", got)
+	}
+	// Zero on other count knobs stays invalid.
+	for _, bad := range []string{"sdram/wq0", "sdram/win0", "sdram/mshr0"} {
+		if _, err := ParseSpec(bad, 100); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// RPPolicies are the per-bank row policies the sweep crosses, as
+// rp<name> spec tokens: the static open page (the default and the
+// PR 4 behaviour), static close (auto-precharge), the idle-timer close
+// at the default gap, and the 2-bit history live/dead predictor.
+var RPPolicies = []string{"open", "close", "timer:200", "history"}
+
+// RPBenches are the streaming kernels the sweep runs — the same two
+// full-size workloads the MSHR and prefetch sweeps use, which bracket
+// the policy space: gsmencode streams at 0.9+ row-hit rates (open
+// pages pay), while motionsearch on the commodity profile conflicts on
+// nearly every access (0.02 row-hit rate — closed pages pay).
+var RPBenches = []string{"gsmencode", "motionsearch"}
+
+// RPProfiles are the SDRAM timing profiles crossed with the policies
+// ("" is the default DDR profile).
+var RPProfiles = []string{"", "hbm"}
+
+// rpPFShape returns the PR 4 best prefetcher shape for one benchmark ×
+// profile — the configuration whose motionsearch/ddr regression the
+// demand-priority scheduler exists to close — so the sweep's prefetch
+// matrix measures each row policy under live speculative traffic.
+func rpPFShape(bench, profile string) (streams, degree int) {
+	if bench == "gsmencode" {
+		if profile == "hbm" {
+			return 8, 4
+		}
+		return 8, 2
+	}
+	return 48, 2
+}
+
+// rpSpec composes the sweep's backend spec for one profile, prefetch
+// shape (0 streams = demand-only) and row policy.
+func rpSpec(profile string, streams, degree int, rp string) string {
+	s := "sdram/line/frfcfs"
+	if profile != "" {
+		s += "/" + profile
+	}
+	if rp != "" {
+		s += "/rp" + rp
+	}
+	s += fmt.Sprintf("/mshr%d", PFMSHRs)
+	if streams > 0 {
+		s += fmt.Sprintf("/pf%dd%d", streams, degree)
+	}
+	return s
+}
+
+// RPSweepRow summarizes one benchmark × profile × traffic mix across
+// the row policies on the paper's best configuration (MOM+3D over the
+// vector cache with the 3D register file, 64-entry MSHR file). Each
+// benchmark × profile appears twice: once demand-only, once with its
+// PR 4 best prefetcher shape riding the batch.
+type RPSweepRow struct {
+	Bench   string
+	Profile string // "ddr" or "hbm"
+	Streams int    // prefetcher shape of the row (0 = demand-only)
+	Degree  int
+
+	Cycles []int64   // per RPPolicies entry
+	BW     []float64 // achieved DRAM bytes/cycle per RPPolicies entry
+	RowHit []float64 // row-buffer hit rate per RPPolicies entry
+
+	// Policy internals per RPPolicies entry.
+	ClosedEarly []uint64
+	Reopened    []uint64
+	Flips       []uint64
+	Deferred    []uint64 // prefetch reads held back by the pfq cap
+}
+
+// Traffic names the row's traffic mix.
+func (r *RPSweepRow) Traffic() string {
+	if r.Streams == 0 {
+		return "demand"
+	}
+	return fmt.Sprintf("pf%dd%d", r.Streams, r.Degree)
+}
+
+// RPSweep runs the row-policy sweep: for each streaming kernel and
+// timing profile, the four per-bank policies over demand-only traffic
+// and again under the kernel's PR 4 prefetcher shape with the
+// demand-priority scheduler. It is the experiment behind the policy
+// subsystem: the history predictor should converge to open-page
+// behaviour where rows pay (gsmencode — zero flips, bit-identical to
+// rpopen) and to close-page where they thrash (motionsearch/ddr
+// demand traffic), while the prefetch matrix shows demand-priority
+// closing the PR 4 motionsearch/ddr regression with gsmencode's
+// bandwidth intact.
+func RPSweep(r *Runner) []RPSweepRow {
+	var rows []RPSweepRow
+	for _, bench := range RPBenches {
+		for _, prof := range RPProfiles {
+			name := prof
+			if name == "" {
+				name = "ddr"
+			}
+			pfStreams, pfDegree := rpPFShape(bench, name)
+			for _, shape := range [][2]int{{0, 0}, {pfStreams, pfDegree}} {
+				row := RPSweepRow{Bench: bench, Profile: name, Streams: shape[0], Degree: shape[1]}
+				for _, rp := range RPPolicies {
+					res := r.SimDRAM(bench, kernels.MOM3D, mom3DVCKind, baseLat, rpSpec(prof, shape[0], shape[1], rp))
+					row.Cycles = append(row.Cycles, res.Cycles())
+					row.BW = append(row.BW, res.DRAM.AchievedBandwidth())
+					row.RowHit = append(row.RowHit, res.DRAM.RowHitRate())
+					row.ClosedEarly = append(row.ClosedEarly, res.DRAM.RowClosedEarly)
+					row.Reopened = append(row.Reopened, res.DRAM.RowReopened)
+					row.Flips = append(row.Flips, res.DRAM.PredictorFlips)
+					row.Deferred = append(row.Deferred, res.DRAM.PrefetchDeferred)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// RenderRPSweep formats the sweep as a fixed-width text table.
+func RenderRPSweep(rows []RPSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Row-policy sweep — per-bank policies × traffic mix under demand-priority scheduling (MOM+3D, vector cache + 3D, sdram/line/frfcfs/rp<p>/mshr%d[/pf<n>d<m>])\n", PFMSHRs)
+	fmt.Fprintf(&b, "%-14s %-4s %-7s", "benchmark", "prof", "traffic")
+	for _, p := range RPPolicies {
+		fmt.Fprintf(&b, " %9s %6s %6s", "rp"+p, "B/cyc", "rowhit")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-4s %-7s", r.Bench, r.Profile, r.Traffic())
+		for i := range RPPolicies {
+			fmt.Fprintf(&b, " %9d %6.2f %6.3f", r.Cycles[i], r.BW[i], r.RowHit[i])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("policy internals at each point (closed early / reopened / predictor flips; pfq-deferred prefetches):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %-4s %-7s", r.Bench, r.Profile, r.Traffic())
+		for i, p := range RPPolicies {
+			fmt.Fprintf(&b, "  rp%s: %d/%d/%d (%d def)", p, r.ClosedEarly[i], r.Reopened[i], r.Flips[i], r.Deferred[i])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("note: rpopen is the PR 4 model's policy — with prefetch off it is pinned bit-identical\n")
+	b.WriteString("to the golden-stats table; the history predictor should match rpopen where rows pay\n")
+	b.WriteString("(gsmencode) and converge to rpclose where they thrash (motionsearch demand traffic).\n")
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestRPSweepShape(t *testing.T) {
+	r := mshrRunner() // test-scale gsmencode + motionsearch
+	rows := RPSweep(r)
+	// Two traffic mixes per benchmark × profile.
+	if want := len(RPBenches) * len(RPProfiles) * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	openIdx := -1
+	for i, p := range RPPolicies {
+		if p == "open" {
+			openIdx = i
+		}
+	}
+	if openIdx < 0 {
+		t.Fatal("the sweep must include the static open policy (the PR 4 baseline)")
+	}
+	for _, row := range rows {
+		if len(row.Cycles) != len(RPPolicies) || len(row.BW) != len(RPPolicies) ||
+			len(row.ClosedEarly) != len(RPPolicies) || len(row.Deferred) != len(RPPolicies) {
+			t.Fatalf("%s/%s/%s: per-policy columns missing", row.Bench, row.Profile, row.Traffic())
+		}
+		for i, p := range RPPolicies {
+			if row.Cycles[i] <= 0 {
+				t.Errorf("%s/%s/%s/rp%s: cycles %d", row.Bench, row.Profile, row.Traffic(), p, row.Cycles[i])
+			}
+		}
+		// The open policy never closes a row early and never flips.
+		if row.ClosedEarly[openIdx] != 0 || row.Flips[openIdx] != 0 {
+			t.Errorf("%s/%s/%s: rpopen closed %d rows early (%d flips)",
+				row.Bench, row.Profile, row.Traffic(), row.ClosedEarly[openIdx], row.Flips[openIdx])
+		}
+		// Demand-only rows carry no speculative traffic to defer.
+		if row.Streams == 0 {
+			for i, p := range RPPolicies {
+				if row.Deferred[i] != 0 {
+					t.Errorf("%s/%s/demand/rp%s: %d prefetches deferred without a prefetcher",
+						row.Bench, row.Profile, p, row.Deferred[i])
+				}
+			}
+		}
+		// The demand-only rpopen point is the equivalence anchor: it
+		// must match the plain (no rp token) mshr pipeline exactly.
+		if row.Streams == 0 {
+			plain := r.SimDRAM(row.Bench, kernels.MOM3D, mom3DVCKind, baseLat, rpSpec(profOf(row.Profile), 0, 0, ""))
+			if row.Cycles[openIdx] != plain.Cycles() {
+				t.Errorf("%s/%s: rpopen demand column %d != plain mshr pipeline %d",
+					row.Bench, row.Profile, row.Cycles[openIdx], plain.Cycles())
+			}
+		}
+	}
+	out := RenderRPSweep(rows)
+	if !strings.Contains(out, "Row-policy sweep") || !strings.Contains(out, "motionsearch") ||
+		!strings.Contains(out, "rphistory") {
+		t.Error("render missing header, benchmark rows or policy columns")
+	}
+}
+
+// TestRPSweepPoliciesDiverge: at test scale the policies must actually
+// reach the controller — the static close policy closes rows on every
+// kernel that touches DRAM, so the sweep is not allowed to be four
+// copies of the same column.
+func TestRPSweepPoliciesDiverge(t *testing.T) {
+	r := mshrRunner()
+	closeIdx := -1
+	for i, p := range RPPolicies {
+		if p == "close" {
+			closeIdx = i
+		}
+	}
+	if closeIdx < 0 {
+		t.Fatal("the sweep must include the static close policy")
+	}
+	closed := uint64(0)
+	for _, row := range RPSweep(r) {
+		closed += row.ClosedEarly[closeIdx]
+	}
+	if closed == 0 {
+		t.Error("no configuration closed a single row under the static close policy")
+	}
+}

@@ -400,6 +400,7 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 			if e.prefetch && !e.demanded {
 				e.classified = true
 			}
+			f.upgradePrefetch(e)
 			p.entries = append(p.entries, e)
 			continue
 		}
@@ -456,7 +457,25 @@ func (f *MSHRFile) touchPrefetched(p *Pending, t PFTouch) {
 	}
 	// Fill still pending: the classification falls out of the flush
 	// that resolves it, and the instruction waits on the entry.
+	f.upgradePrefetch(e)
 	p.entries = append(p.entries, e)
+}
+
+// upgradePrefetch promotes a still-pending prefetch fill to demand
+// priority: a demand access has merged onto entry e, so its data is on
+// an instruction's critical path and the channel scheduler must stop
+// treating the request as deprioritizable speculation. No-op once the
+// batch holding the request has been submitted.
+func (f *MSHRFile) upgradePrefetch(e *mshrEntry) {
+	if !e.prefetch || e.resolved {
+		return
+	}
+	for i := range f.pending {
+		if f.pending[i].ID == e.id && !f.pending[i].Write {
+			f.pending[i].Demanded = true
+			return
+		}
+	}
 }
 
 // prefetchQuota bounds how many MSHRs unresolved prefetches may hold
