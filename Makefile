@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench rpsweep fmt-check vet
+.PHONY: verify build test test-race bench rpsweep stats trace fmt-check vet
 
 verify: build test
 
@@ -29,6 +29,23 @@ bench:
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 8
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 16 -pf 8
 	go run ./cmd/momsim -bench gsmencode -isa mom3d -mem vcache3d -dram sdram -mshr 16 -rp history -pf 8
+
+# stats smokes the observability layer end to end: a tiny run with the
+# registry exporter on, then the pretty-printed snapshot so a reader
+# can eyeball every registered name.
+stats:
+	go run ./cmd/momsim -bench gsmencode -dram sdram -mshr 8 -pf 4 -statsjson /tmp/momsim_stats.json
+	@python3 -m json.tool /tmp/momsim_stats.json 2>/dev/null || cat /tmp/momsim_stats.json
+
+# trace smokes the cycle-stamped event tracer under the race detector:
+# the emitting hot paths and the ring buffer must stay race-free with
+# the exporter attached, and the emitted file must be Chrome-loadable
+# JSON (the momsim tests parse one back; this exercises the full-size
+# binary path).
+trace:
+	go test -race -run 'TestTracer|TestResolveObservability' ./internal/stats/ ./cmd/momsim/
+	go run -race ./cmd/momsim -bench gsmencode -dram sdram -mshr 8 -pf 4 -trace /tmp/momsim_trace.json -tracebuf 65536
+	@python3 -c "import json; d=json.load(open('/tmp/momsim_trace.json')); print('trace OK:', len(d['traceEvents']), 'events')"
 
 # rpsweep regenerates the full-size per-bank row-policy matrix
 # (EXPERIMENTS.md's reference table): open/close/timer/history ×

@@ -12,6 +12,8 @@
 //	momexp -mshrsweep   the blocking-vs-MSHR non-blocking pipeline sweep
 //	momexp -pfsweep     the stream-prefetcher sweep over the streaming kernels
 //	momexp -rpsweep     the per-bank row-policy sweep (open/close/timer/history)
+//	momexp -latdist     the ddr-vs-hbm read-latency distribution table
+//	momexp -statsjson BENCH_PR6.json  write the golden-matrix registry snapshots as JSON
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
 //	momexp -mshr 8      ... with an 8-entry MSHR file (non-blocking pipeline)
 //	momexp -mshr 16 -pf 8  ... with a stream prefetcher riding the MSHR batch
@@ -37,6 +39,8 @@ func main() {
 	mshrsweep := flag.Bool("mshrsweep", false, "print only the blocking-vs-MSHR pipeline sweep")
 	pfsweep := flag.Bool("pfsweep", false, "print only the stream-prefetcher sweep (streaming kernels)")
 	rpsweep := flag.Bool("rpsweep", false, "print only the per-bank row-policy sweep (streaming kernels)")
+	latdist := flag.Bool("latdist", false, "print only the ddr-vs-hbm read-latency distribution table")
+	statsjson := flag.String("statsjson", "", "write the golden-matrix registry snapshots to this file as JSON and exit")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
 	dsched := flag.String("dsched", "frfcfs", "sdram scheduler: fcfs, frfcfs")
@@ -107,6 +111,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -rpsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-rp/-mshr/-pf")
 		os.Exit(2)
 	}
+	if *latdist && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -latdist compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
+	if *statsjson != "" && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -statsjson runs the pinned golden matrix; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
 	if *dramName != "" {
 		// An unset -rp leaves the knob zero (the preset's static open);
 		// an explicit value, "open" included, must parse.
@@ -132,6 +144,27 @@ func main() {
 	}
 
 	switch {
+	case *statsjson != "":
+		var progress func(experiments.SimKey)
+		if !*quiet {
+			progress = r.Progress
+		}
+		rep := experiments.ComputeBenchReport(progress)
+		fh, err := os.Create(*statsjson)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(fh); err == nil {
+			err = fh.Close()
+		} else {
+			fh.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: writing %s: %v\n", *statsjson, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d configuration snapshots to %s\n", len(rep.Configs), *statsjson)
 	case *headline:
 		fmt.Print(experiments.ComputeHeadline(r).Render())
 	case *dramsweep:
@@ -144,6 +177,8 @@ func main() {
 		fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
 	case *rpsweep:
 		fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
+	case *latdist:
+		fmt.Print(experiments.RenderLatDist(experiments.LatDist(r)))
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:
@@ -181,6 +216,8 @@ func main() {
 			fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
 			fmt.Println()
 			fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
+			fmt.Println()
+			fmt.Print(experiments.RenderLatDist(experiments.LatDist(r)))
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())

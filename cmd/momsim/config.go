@@ -34,6 +34,13 @@ type options struct {
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
+
+	// Observability outputs: Trace writes a Chrome trace-event JSON
+	// file (TraceBuf sizes the event ring; 0 = default), StatsJSON
+	// writes the registry snapshot.
+	Trace     string
+	StatsJSON string
+	TraceBuf  int
 }
 
 // defaultOptions matches the flag defaults.
@@ -52,6 +59,10 @@ type runConfig struct {
 	Core    core.Config
 	MemKind core.MemKind
 	Timing  vmem.Timing
+
+	Trace     string // Chrome trace-event JSON output path ("" = off)
+	StatsJSON string // registry-snapshot JSON output path ("" = off)
+	TraceBuf  int    // trace ring capacity in events (0 = default)
 }
 
 // resolve validates the options, building the benchmark, processor,
@@ -88,6 +99,15 @@ func resolve(o options) (runConfig, error) {
 	if memKind == core.MemIdeal && o.PF != 0 {
 		return rc, fmt.Errorf("-pf needs a cache hierarchy; it has no effect with -mem ideal")
 	}
+	if o.TraceBuf < 0 {
+		return rc, fmt.Errorf("-tracebuf must not be negative (got %d)", o.TraceBuf)
+	}
+	if o.TraceBuf > 0 && o.Trace == "" {
+		return rc, fmt.Errorf("-tracebuf sizes the -trace event ring; it has no effect without -trace")
+	}
+	if o.Trace != "" && o.Trace == o.StatsJSON {
+		return rc, fmt.Errorf("-trace and -statsjson both write %q; pick distinct files", o.Trace)
+	}
 	cfg.UseGshare = o.Gshare
 	rc.Bench = bm
 	rc.Variant = variant
@@ -95,6 +115,7 @@ func resolve(o options) (runConfig, error) {
 	rc.MemKind = memKind
 	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend,
 		MSHRs: o.MSHR, PFStreams: o.PF, PFDegree: o.PFD}
+	rc.Trace, rc.StatsJSON, rc.TraceBuf = o.Trace, o.StatsJSON, o.TraceBuf
 	return rc, nil
 }
 

@@ -173,6 +173,33 @@ func TestResolveWriteDrainKnobs(t *testing.T) {
 	}
 }
 
+func TestResolveObservability(t *testing.T) {
+	o := defaultOptions()
+	o.Trace, o.StatsJSON, o.TraceBuf = "trace.json", "stats.json", 4096
+	rc, err := resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(observability): %v", err)
+	}
+	if rc.Trace != "trace.json" || rc.StatsJSON != "stats.json" || rc.TraceBuf != 4096 {
+		t.Errorf("observability outputs not threaded: %+v", rc)
+	}
+	// -statsjson alone is fine; so is -trace with the default ring.
+	o = defaultOptions()
+	o.StatsJSON = "stats.json"
+	if rc, err = resolve(o); err != nil || rc.StatsJSON != "stats.json" {
+		t.Errorf("statsjson alone: %+v (err %v)", rc, err)
+	}
+	o = defaultOptions()
+	o.Trace = "trace.json"
+	if rc, err = resolve(o); err != nil || rc.Trace != "trace.json" || rc.TraceBuf != 0 {
+		t.Errorf("trace alone: %+v (err %v)", rc, err)
+	}
+	// The defaults leave both exporters off.
+	if rc, err = resolve(defaultOptions()); err != nil || rc.Trace != "" || rc.StatsJSON != "" {
+		t.Errorf("default resolve enables an exporter: %+v (err %v)", rc, err)
+	}
+}
+
 func TestResolveRejectsUnknownValues(t *testing.T) {
 	cases := []struct {
 		name string
@@ -205,6 +232,9 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"rp-arg-on-open", func(o *options) { o.DRAM = "sdram"; o.RP = "open:5" }, "parameter"},
 		{"pfq-no-pf", func(o *options) { o.DRAM = "sdram"; o.MSHR = 8; o.PFQ = 4 }, "stream count"},
 		{"pfq-negative", func(o *options) { o.DRAM = "sdram"; o.MSHR = 8; o.PF = 4; o.PFQ = -1 }, "knobs"},
+		{"tracebuf-negative", func(o *options) { o.Trace = "t.json"; o.TraceBuf = -1 }, "-tracebuf"},
+		{"tracebuf-no-trace", func(o *options) { o.TraceBuf = 4096 }, "-trace"},
+		{"trace-eq-statsjson", func(o *options) { o.Trace = "out.json"; o.StatsJSON = "out.json" }, "distinct"},
 	}
 	for _, c := range cases {
 		o := defaultOptions()

@@ -15,41 +15,60 @@ import (
 // replays known-interesting combinations as regular test cases.
 func FuzzResolve(f *testing.F) {
 	add := func(bench, isa, mem, dram, dmap, dsched, dprof, rp string,
-		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64) {
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64,
+		trace, statsjson string, tracebuf int) {
 		f.Add(bench, isa, mem, dram, dmap, dsched, dprof, rp,
-			dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq, l2, mlat)
+			dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq, l2, mlat,
+			trace, statsjson, tracebuf)
 	}
 	d := defaultOptions()
 	add(d.Bench, d.ISA, d.Mem, d.DRAM, d.DMap, d.DSched, d.DProf, d.RP,
-		0, 0, 0, 0, 0, 0, 0, 0, 0, d.L2Lat, d.MemLat)
+		0, 0, 0, 0, 0, 0, 0, 0, 0, d.L2Lat, d.MemLat, "", "", 0)
 	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "hbm", "history",
-		4, 8, 2, 50, 16, 16, 8, 4, 4, 20, 100)
+		4, 8, 2, 50, 16, 16, 8, 4, 4, 20, 100, "t.json", "s.json", 1024)
 	add("motionsearch", "mom", "vcache", "sdram", "bank", "fcfs", "ddr", "timer:150",
-		0, 0, 0, 0, 0, 8, 0, 0, 0, 40, 100)
+		0, 0, 0, 0, 0, 8, 0, 0, 0, 40, 100, "", "", 0)
 	add("jpegencode", "mmx", "multibanked", "fixed", "line", "frfcfs", "ddr", "open",
-		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100, "", "out.json", 0)
 	add("mpeg2decode", "mom3d", "ideal", "fixed", "line", "frfcfs", "ddr", "open",
-		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100)
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100, "", "", 0)
 	add("quake3", "avx512", "dcache", "hbm", "xor", "rr", "lpddr", "lru",
-		3, -1, 9, -2, -1, -5, 1, -1, -3, -20, -100)
+		3, -1, 9, -2, -1, -5, 1, -1, -3, -20, -100, "x", "x", -7)
 	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "close",
-		0, 0, 0, 0, 0, 1, 8, 0, 0, 20, 100) // pf over a blocking file: rejected
+		0, 0, 0, 0, 0, 1, 8, 0, 0, 20, 100, "", "", 0) // pf over a blocking file: rejected
 	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "timer:0",
-		0, 0, 0, 0, 0, 16, 8, 0, 0, 20, 100) // zero timer gap: rejected
+		0, 0, 0, 0, 0, 16, 8, 0, 0, 20, 100, "", "", 0) // zero timer gap: rejected
 	add("gsmencode", "mom3d", "vcache3d", "sdram", "line", "frfcfs", "", "open",
-		0, 0, 0, 0, 0, 16, 0, 0, 8, 20, 100) // pfq without pf: rejected
+		0, 0, 0, 0, 0, 16, 0, 0, 8, 20, 100, "", "", 0) // pfq without pf: rejected
+	add("mpeg2encode", "mom3d", "vcache3d", "fixed", "line", "frfcfs", "ddr", "open",
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100, "", "", -1) // negative tracebuf: rejected
+	add("mpeg2encode", "mom3d", "vcache3d", "fixed", "line", "frfcfs", "ddr", "open",
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100, "", "", 4096) // tracebuf without trace: rejected
+	add("mpeg2encode", "mom3d", "vcache3d", "fixed", "line", "frfcfs", "ddr", "open",
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 20, 100, "same.json", "same.json", 0) // colliding outputs: rejected
 
 	f.Fuzz(func(t *testing.T, bench, isa, mem, dram, dmap, dsched, dprof, rp string,
-		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64) {
+		dchan, dwq, dwql, dwqi, dwin, mshr, pf, pfd, pfq int, l2, mlat int64,
+		traceOut, statsOut string, tracebuf int) {
 		rc, err := resolve(options{
 			Bench: bench, ISA: isa, Mem: mem,
 			DRAM: dram, DMap: dmap, DSched: dsched, DProf: dprof, RP: rp,
 			DChan: dchan, DWQ: dwq, DWQL: dwql, DWQI: dwqi, DWin: dwin,
 			MSHR: mshr, PF: pf, PFD: pfd, PFQ: pfq,
 			L2Lat: l2, MemLat: mlat,
+			Trace: traceOut, StatsJSON: statsOut, TraceBuf: tracebuf,
 		})
 		if err != nil {
 			return
+		}
+		if rc.TraceBuf < 0 {
+			t.Fatalf("accepted a negative trace ring capacity: %d", rc.TraceBuf)
+		}
+		if rc.TraceBuf > 0 && rc.Trace == "" {
+			t.Fatal("accepted -tracebuf without -trace")
+		}
+		if rc.Trace != "" && rc.Trace == rc.StatsJSON {
+			t.Fatalf("accepted colliding -trace/-statsjson outputs: %q", rc.Trace)
 		}
 		if rc.Bench.Name == "" {
 			t.Fatal("accepted configuration has no benchmark")

@@ -22,6 +22,14 @@
 // the demand pipeline — the channel scheduler services demand reads
 // first, and -pfq caps how many speculative reads may sit in one
 // channel's read queue.
+//
+// Observability: -statsjson <file> dumps every registered counter and
+// histogram as deterministic JSON (the internal/stats registry
+// snapshot); -trace <file> writes a cycle-stamped Chrome trace-event
+// JSON covering DRAM request issue/activate/column/complete, MSHR
+// alloc/merge/fill, prefetch train/fire/drop and row-policy closes
+// (load it in chrome://tracing or Perfetto; -tracebuf sizes the event
+// ring, most recent events win).
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"repro/internal/dram/policy"
 	"repro/internal/kernels"
 	"repro/internal/power"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -60,6 +69,9 @@ func main() {
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
 	verify := flag.Bool("verify", true, "check the kernel output against the scalar reference")
+	traceFile := flag.String("trace", "", "write a cycle-stamped Chrome trace-event JSON to this file")
+	statsFile := flag.String("statsjson", "", "write the stats-registry snapshot as JSON to this file")
+	traceBuf := flag.Int("tracebuf", 0, "trace event-ring capacity; oldest events drop first (0 = default)")
 	flag.Parse()
 
 	// Reject explicitly-set knobs the chosen backend would silently
@@ -85,6 +97,7 @@ func main() {
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
 		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
+		Trace: *traceFile, StatsJSON: *statsFile, TraceBuf: *traceBuf,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -107,6 +120,11 @@ func main() {
 	}
 
 	ms := core.NewMemSystem(rc.MemKind, rc.Timing, rc.Core.Lanes, rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal)
+	var tracer *stats.Tracer
+	if rc.Trace != "" {
+		tracer = stats.NewTracer(rc.TraceBuf)
+		ms.AttachTracer(tracer)
+	}
 	st := core.Simulate(rc.Core, ms, tr.Insts)
 
 	if rc.MemKind == core.MemIdeal {
@@ -142,6 +160,9 @@ func main() {
 			f.Cap(), fs.Allocs, fs.Merges, fs.MLP(), fs.OccMax)
 		fmt.Printf("mshr batches: %d flushes, avg %.2f requests spanning %.2f instructions (max %d); %d full stalls (%d cycles)\n",
 			fs.Flushes, fs.AvgBatch(), fs.AvgSpan(), fs.SpanMax, fs.FullStalls, fs.StallCycles)
+		if fs.Fill.Count() > 0 {
+			fmt.Printf("mshr miss-to-fill latency: %s\n", fs.Fill)
+		}
 		fmt.Printf("early retirement: %d instructions graduated with misses in flight, %d store-buffer stalls\n",
 			st.EarlyRetired, st.StallSB)
 	}
@@ -160,6 +181,10 @@ func main() {
 	if ds := ms.DRAM().Stats(); ds.Accesses > 0 {
 		fmt.Printf("dram (%s): %d requests, %.2f bytes/cycle\n",
 			ms.DRAM().Name(), ds.Accesses, ds.AchievedBandwidth())
+		if ds.ReadWait.Count() > 0 {
+			fmt.Printf("dram read queue-wait:   %s\n", ds.ReadWait)
+			fmt.Printf("dram read service time: %s\n", ds.ReadService)
+		}
 		// Row-buffer and queue metrics only exist on the banked model.
 		if sd, ok := ms.DRAM().(*dram.SDRAM); ok {
 			fmt.Printf("dram rows: hit rate %.3f (%d hit / %d miss / %d conflict), %d refreshes\n",
@@ -187,6 +212,37 @@ func main() {
 	}
 	if st.Mispredicts > 0 {
 		fmt.Printf("branch mispredicts: %d\n", st.Mispredicts)
+	}
+
+	if rc.StatsJSON != "" {
+		reg := stats.NewRegistry()
+		st.Register(reg)
+		ms.Register(reg)
+		fh, err := os.Create(rc.StatsJSON)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := reg.Snapshot().WriteJSON(fh); err != nil {
+			fail("writing %s: %v", rc.StatsJSON, err)
+		}
+		if err := fh.Close(); err != nil {
+			fail("writing %s: %v", rc.StatsJSON, err)
+		}
+		fmt.Printf("stats: wrote %d registered stats to %s\n", len(reg.Names()), rc.StatsJSON)
+	}
+	if tracer != nil {
+		fh, err := os.Create(rc.Trace)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracer.WriteChromeJSON(fh); err != nil {
+			fail("writing %s: %v", rc.Trace, err)
+		}
+		if err := fh.Close(); err != nil {
+			fail("writing %s: %v", rc.Trace, err)
+		}
+		fmt.Printf("trace: wrote %d events to %s (%d emitted, %d dropped by the ring)\n",
+			tracer.Len(), rc.Trace, tracer.Total(), tracer.Dropped())
 	}
 }
 

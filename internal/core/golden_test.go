@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/kernels"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vmem"
 )
@@ -108,11 +109,26 @@ func measureGoldenSpecs(t *testing.T, transform func(string) string) map[string]
 				if sd, ok := backend.(*dram.SDRAM); ok {
 					sd.Flush()
 				}
+				// The rows are read through the stats registry rather
+				// than the structs directly: the golden table doubles as
+				// the proof that registration is complete and the
+				// registered names resolve to the hand-threaded counters
+				// bit for bit.
+				reg := stats.NewRegistry()
+				st.Register(reg)
+				ms.Register(reg)
+				snap := reg.Snapshot()
+				for _, name := range []string{"core.cycles", "core.committed",
+					"vmem.misses", "dram.accesses"} {
+					if !snap.Has(name) {
+						t.Fatalf("registry snapshot missing %q", name)
+					}
+				}
 				out[goldenKey(bm.Name, vk.v, spec)] = goldenRow{
-					Cycles:    st.Cycles,
-					Committed: st.Committed,
-					VMMisses:  ms.VM.Stats().Misses,
-					DRAMReqs:  backend.Stats().Accesses,
+					Cycles:    snap.Gauge("core.cycles"),
+					Committed: snap.Counter("core.committed"),
+					VMMisses:  snap.Counter("vmem.misses"),
+					DRAMReqs:  snap.Counter("dram.accesses"),
 				}
 			}
 		}

@@ -20,7 +20,10 @@
 // later batches are never visible to earlier ones.
 package dram
 
-import "repro/internal/cache"
+import (
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
 
 // lineBytes is the transfer granularity of every backend, tied to the
 // L2 line size so the NewMemSystem cross-check can never trip from a
@@ -184,6 +187,42 @@ type Stats struct {
 	// achieved-bandwidth figure.
 	FirstArrival int64
 	LastDone     int64
+
+	// ReadWait and ReadService split each read's latency at the point
+	// queue back-pressure ends: wait is the delay from the request's
+	// own arrival until the controller admits it (full read queue,
+	// prefetch occupancy cap), service is admission to data-transfer
+	// completion (row management, refresh, bus contention, burst).
+	// Averages hide the tail the paper's bandwidth argument turns on;
+	// these keep the distribution.
+	ReadWait    *stats.Histogram
+	ReadService *stats.Histogram
+}
+
+// initHists allocates the latency histograms once; the Reset paths
+// clear them in place so pointers held by a stats registry stay live.
+func (s *Stats) initHists() {
+	if s.ReadWait == nil {
+		s.ReadWait = stats.NewHistogram()
+	}
+	if s.ReadService == nil {
+		s.ReadService = stats.NewHistogram()
+	}
+}
+
+// reset zeroes every counter while keeping the histogram identities.
+func (s *Stats) reset() {
+	rw, rs := s.ReadWait, s.ReadService
+	*s = Stats{}
+	rw.Reset()
+	rs.Reset()
+	s.ReadWait, s.ReadService = rw, rs
+}
+
+// Traceable is implemented by backends that accept a cycle-stamped
+// event tracer. A nil tracer disables tracing (the default).
+type Traceable interface {
+	SetTracer(t *stats.Tracer)
 }
 
 // Reads is the number of read (line-fill) requests serviced.
@@ -254,13 +293,16 @@ type Fixed struct {
 	Latency   int64
 	lineBytes int
 	st        Stats
+	tr        *stats.Tracer
 	comps     []Completion
 }
 
 // NewFixed returns a flat-latency backend (the seed's 100-cycle DRAM
 // when latency is 100). Its line size is the shared L2 line constant.
 func NewFixed(latency int64) *Fixed {
-	return &Fixed{Latency: latency, lineBytes: lineBytes}
+	f := &Fixed{Latency: latency, lineBytes: lineBytes}
+	f.st.initHists()
+	return f
 }
 
 // Name implements Backend.
@@ -281,7 +323,10 @@ func (f *Fixed) MinReadLatency() int64 { return f.Latency }
 func (f *Fixed) WriteRoom(uint64) bool { return true }
 
 // Reset implements Backend.
-func (f *Fixed) Reset() { f.st = Stats{} }
+func (f *Fixed) Reset() { f.st.reset() }
+
+// SetTracer implements Traceable.
+func (f *Fixed) SetTracer(t *stats.Tracer) { f.tr = t }
 
 // Submit implements Backend: every completion is At + Latency.
 func (f *Fixed) Submit(batch []Request) []Completion {
@@ -292,6 +337,14 @@ func (f *Fixed) Submit(batch []Request) []Completion {
 			f.st.Writes++
 		} else if r.Prefetch {
 			f.st.PrefetchReads++
+		}
+		if !r.Write {
+			f.st.ReadWait.Observe(0)
+			f.st.ReadService.Observe(f.Latency)
+		}
+		if f.tr != nil {
+			f.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue", Addr: r.Addr, ID: r.ID})
+			f.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "complete", Addr: r.Addr, ID: r.ID})
 		}
 		f.st.observe(r.At, done, f.lineBytes)
 		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done, ID: r.ID})

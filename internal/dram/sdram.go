@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram/policy"
+	"repro/internal/stats"
 )
 
 // Mapping selects how a physical address is decomposed into channel,
@@ -219,6 +220,13 @@ type SDRAM struct {
 
 	lineShift, colBits, rowBits, chanBits, bankBits uint
 
+	// Event tracing (nil = off). service runs deep under the
+	// schedulers without request identity in scope, so the callers
+	// stash the active request's address and ID here — only when a
+	// tracer is attached.
+	tr           *stats.Tracer
+	trAddr, trID uint64
+
 	// Per-Submit scratch, reused across calls.
 	comps   []Completion
 	dec     []decoded
@@ -296,6 +304,7 @@ func NewSDRAM(cfg Config) *SDRAM {
 	}
 	s.chans = make([]channel, cfg.Channels)
 	s.perChan = make([][]int, cfg.Channels)
+	s.st.initHists()
 	s.Reset()
 	return s
 }
@@ -342,9 +351,12 @@ func (s *SDRAM) WriteRoom(addr uint64) bool {
 // Config returns the controller's configuration.
 func (s *SDRAM) Config() Config { return s.cfg }
 
+// SetTracer implements Traceable.
+func (s *SDRAM) SetTracer(t *stats.Tracer) { s.tr = t }
+
 // Reset implements Backend.
 func (s *SDRAM) Reset() {
-	s.st = Stats{}
+	s.st.reset()
 	s.rp.Reset()
 	for c := range s.chans {
 		s.chans[c] = channel{
@@ -484,6 +496,9 @@ func (s *SDRAM) service(ci, bi int, row, arrival int64, write bool) int64 {
 		bk.open = false
 		bk.early = true
 		s.st.RowClosedEarly++
+		if s.tr != nil {
+			s.tr.Emit(stats.Event{Cycle: bk.closeAt, Cat: "dram", Name: "rp_close", Lane: s.globalBank(ci, bi)})
+		}
 		if pre := bk.closeAt + s.cfg.TRP; pre > bk.freeAt {
 			bk.freeAt = pre
 		}
@@ -507,6 +522,17 @@ func (s *SDRAM) service(ci, bi int, row, arrival int64, write bool) int64 {
 		c.cmdFree = colIssue
 	}
 	done := s.burst(c, colIssue+s.cfg.TCAS, write)
+	if s.tr != nil {
+		lane := s.globalBank(ci, bi)
+		if colIssue > start {
+			s.tr.Emit(stats.Event{Cycle: start, Dur: colIssue - start, Cat: "dram", Name: "activate",
+				Addr: s.trAddr, ID: s.trID, Lane: lane})
+		}
+		s.tr.Emit(stats.Event{Cycle: colIssue, Dur: s.cfg.TCAS, Cat: "dram", Name: "column",
+			Addr: s.trAddr, ID: s.trID, Lane: lane})
+		s.tr.Emit(stats.Event{Cycle: done - s.cfg.TBurst, Dur: s.cfg.TBurst, Cat: "dram", Name: "burst",
+			Addr: s.trAddr, ID: s.trID, Lane: lane})
+	}
 
 	bk.freeAt = done
 	bk.lastRow, bk.used = row, true
@@ -521,6 +547,9 @@ func (s *SDRAM) service(ci, bi int, row, arrival int64, write bool) int64 {
 		bk.open = false
 		bk.early = true
 		s.st.RowClosedEarly++
+		if s.tr != nil {
+			s.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "rp_close", Lane: s.globalBank(ci, bi)})
+		}
 	default:
 		bk.open, bk.openRow = true, row
 		bk.closeAt = done + gap
@@ -619,6 +648,7 @@ func (s *SDRAM) admitPrefetch(c *channel, t0 int64) int64 {
 // completion cycle.
 func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool) int64 {
 	c := &s.chans[ch]
+	req := t0 // the request's own arrival, before any back-pressure
 	if prefetch {
 		t0 = s.admitPrefetch(c, t0)
 	}
@@ -637,6 +667,12 @@ func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool) 
 	c.inflight = append(c.inflight, done)
 	if prefetch {
 		c.pfInflight = append(c.pfInflight, done)
+	}
+	s.st.ReadWait.Observe(arrival - req)
+	s.st.ReadService.Observe(done - arrival)
+	if s.tr != nil {
+		s.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "complete",
+			Addr: s.trAddr, ID: s.trID, Lane: ch})
 	}
 	s.st.observe(t0, done, s.cfg.LineBytes)
 	return done
@@ -662,6 +698,9 @@ func (s *SDRAM) drainWrites(ci int, t int64, keep int) {
 	n := len(c.writeQ) - keep
 	for _, w := range c.writeQ[:n] {
 		_, bi, row := s.decode(w.Addr)
+		if s.tr != nil {
+			s.trAddr, s.trID = w.Addr, w.ID
+		}
 		done := s.service(ci, bi, row, max(t, w.At), true)
 		// The drain's bus time must stay inside the bandwidth window,
 		// or drained bytes would report as transferred in zero cycles.
@@ -725,6 +764,9 @@ func (s *SDRAM) opportunisticDrain(ci int, readBank int, arrival int64) {
 		if dataStart+s.cfg.TBurst+s.cfg.TTurn > arrival {
 			kept = append(kept, c.writeQ[i:]...)
 			break
+		}
+		if s.tr != nil {
+			s.trAddr, s.trID = w.Addr, w.ID
 		}
 		done := s.service(ci, bi, row, w.At, true)
 		if done > s.st.LastDone {
@@ -829,6 +871,9 @@ func (s *SDRAM) scheduleReads(ch int, batch []Request, pend []int) {
 		i := pend[pick]
 		pend = append(pend[:pick], pend[pick+1:]...)
 		d := s.dec[i]
+		if s.tr != nil {
+			s.trAddr, s.trID = batch[i].Addr, batch[i].ID
+		}
 		s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At, batch[i].speculative())
 	}
 }
@@ -862,6 +907,9 @@ func (s *SDRAM) Submit(batch []Request) []Completion {
 		ch, bk, row := s.decode(r.Addr)
 		s.dec = append(s.dec, decoded{ch: ch, bk: bk, row: row})
 		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch, ID: r.ID}
+		if s.tr != nil {
+			s.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue", Addr: r.Addr, ID: r.ID, Lane: ch})
+		}
 		switch {
 		case r.Write:
 			s.wOrder = append(s.wOrder, i)

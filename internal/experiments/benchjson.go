@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+// This file emits the machine-readable benchmark report (BENCH_PR6.json):
+// the full stats-registry snapshot of every configuration in the golden
+// matrix — the same bench × ISA × backend cross internal/core pins in
+// testdata/golden_stats.txt. Keys are spelled identically to the golden
+// table's ("bench/ISA/backend-spec"), so any consumer can join the two,
+// and TestBenchReportMatchesGolden holds the JSON's counters to the
+// pinned rows bit for bit.
+
+// BenchSpecs are the backend configurations the report crosses; they
+// mirror goldenSpecs in internal/core/golden_test.go.
+var BenchSpecs = []string{
+	"fixed",
+	"sdram/line/frfcfs",
+	"sdram/line/frfcfs/mshr8",
+}
+
+// BenchReport is the exported document: one registry snapshot per
+// golden-matrix configuration.
+type BenchReport struct {
+	Suite   string                    `json:"suite"`
+	Configs map[string]stats.Snapshot `json:"configs"`
+}
+
+// GoldenSuite is the scaled-down benchmark set the golden table was
+// measured over (the full-size kernels would take minutes in CI).
+func GoldenSuite() []kernels.Benchmark {
+	return []kernels.Benchmark{
+		kernels.JPEGEncode(kernels.SmallJPEGEncConfig()),
+		kernels.JPEGDecode(kernels.SmallJPEGDecConfig()),
+		kernels.MPEG2Decode(kernels.SmallMPEG2DecConfig()),
+		kernels.MPEG2Encode(kernels.SmallMPEG2EncConfig()),
+		kernels.GSMEncode(kernels.SmallGSMEncConfig()),
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig()),
+	}
+}
+
+// benchVariants is the ISA × memory-system cross of the golden matrix.
+var benchVariants = []struct {
+	v    kernels.Variant
+	kind core.MemKind
+}{
+	{kernels.MOM3D, core.MemVectorCache3D},
+	{kernels.MOM, core.MemVectorCache},
+	{kernels.MMX, core.MemMultiBanked},
+}
+
+// ComputeBenchReport runs the golden matrix over the scaled-down suite
+// and collects every configuration's registry snapshot. progress, if
+// non-nil, is called before each simulation.
+func ComputeBenchReport(progress func(SimKey)) *BenchReport {
+	r := NewRunnerWith(GoldenSuite())
+	r.Progress = progress
+	rep := &BenchReport{Suite: "golden-small", Configs: map[string]stats.Snapshot{}}
+	for _, bench := range r.Benchmarks() {
+		for _, vk := range benchVariants {
+			for _, spec := range BenchSpecs {
+				res := r.SimDRAM(bench, vk.v, vk.kind, baseLat, spec)
+				key := fmt.Sprintf("%s/%s/%s", bench, vk.v, spec)
+				rep.Configs[key] = res.Snap
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented, deterministically-ordered
+// JSON (encoding/json sorts map keys).
+func (rep *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

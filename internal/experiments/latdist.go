@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+	"repro/internal/stats"
+)
+
+// LatDistProfiles are the SDRAM timing profiles the latency-distribution
+// table compares: the commodity DIMM against the die-stacked part.
+var LatDistProfiles = []string{"ddr", "hbm"}
+
+// LatDistBench is the workload the table runs: the streaming kernel
+// whose working set defeats the L2, so every distribution below is over
+// real main-memory traffic rather than a handful of cold misses.
+const LatDistBench = "motionsearch"
+
+// latDistMSHRs sizes the MSHR file behind the distributions; the
+// non-blocking pipeline is what makes queue-wait distinct from service
+// time (a blocking pipeline never queues more than one read).
+const latDistMSHRs = 8
+
+// LatDistRow holds the three per-request latency distributions of one
+// timing profile: where a read waited (queue), how long the banks took
+// (service), and the end-to-end miss-to-fill time the pipeline saw.
+type LatDistRow struct {
+	Profile string
+	Spec    string
+	Cycles  int64
+	Wait    stats.HistSnapshot // dram.read_wait: admission to first service
+	Service stats.HistSnapshot // dram.read_service: service start to data
+	Fill    stats.HistSnapshot // vmem.mshr.fill: miss allocation to fill
+}
+
+// latDistSpec composes the backend spec for one profile.
+func latDistSpec(profile string) string {
+	return fmt.Sprintf("sdram/line/frfcfs/%s/mshr%d", profile, latDistMSHRs)
+}
+
+// LatDist measures the read-latency distributions of each timing
+// profile on the streaming kernel, read straight from the registry
+// snapshot the runner takes after every simulation.
+func LatDist(r *Runner) []LatDistRow {
+	var rows []LatDistRow
+	for _, prof := range LatDistProfiles {
+		spec := latDistSpec(prof)
+		res := r.SimDRAM(LatDistBench, kernels.MOM3D, mom3DVCKind, baseLat, spec)
+		rows = append(rows, LatDistRow{
+			Profile: prof,
+			Spec:    spec,
+			Cycles:  res.Cycles(),
+			Wait:    res.Snap.Hists["dram.read_wait"],
+			Service: res.Snap.Hists["dram.read_service"],
+			Fill:    res.Snap.Hists["vmem.mshr.fill"],
+		})
+	}
+	return rows
+}
+
+// RenderLatDist formats the distributions as a fixed-width text table,
+// one row per profile and one column group per distribution.
+func RenderLatDist(rows []LatDistRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory read-latency distributions — %s, MOM+3D, vector cache + 3D, sdram/line/frfcfs/<prof>/mshr%d\n",
+		LatDistBench, latDistMSHRs)
+	fmt.Fprintf(&b, "%-5s %9s %6s |", "prof", "cycles", "reads")
+	for _, g := range []string{"queue-wait", "service", "miss-to-fill"} {
+		fmt.Fprintf(&b, " %25s |", g)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-5s %9s %6s |", "", "", "")
+	for range 3 {
+		fmt.Fprintf(&b, " %6s %5s %5s %6s |", "mean", "p50", "p95", "max")
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %9d %6d |", r.Profile, r.Cycles, r.Wait.Count)
+		for _, h := range []stats.HistSnapshot{r.Wait, r.Service, r.Fill} {
+			fmt.Fprintf(&b, " %6.1f %5d %5d %6d |",
+				h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("latencies in cycles; p50/p95 are log2-bucket upper bounds. queue-wait + service = per-read\n")
+	b.WriteString("controller latency; miss-to-fill adds the L2 round trip and any MSHR batching delay.\n")
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// latDistRunner keeps the distribution test fast: motionsearch is the
+// only benchmark -latdist simulates.
+func latDistRunner() *Runner {
+	return NewRunnerWith([]kernels.Benchmark{
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig()),
+	})
+}
+
+func TestLatDistShape(t *testing.T) {
+	rows := LatDist(latDistRunner())
+	if len(rows) != len(LatDistProfiles) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(LatDistProfiles))
+	}
+	for i, r := range rows {
+		if r.Profile != LatDistProfiles[i] {
+			t.Errorf("row %d profile = %q, want %q", i, r.Profile, LatDistProfiles[i])
+		}
+		if r.Wait.Count == 0 || r.Service.Count == 0 || r.Fill.Count == 0 {
+			t.Errorf("%s: empty distribution (wait %d, service %d, fill %d) — the streaming kernel must miss",
+				r.Profile, r.Wait.Count, r.Service.Count, r.Fill.Count)
+		}
+		// Wait and service see the same reads; fills cover at least the
+		// demand misses (prefetch fills would only add to them).
+		if r.Wait.Count != r.Service.Count {
+			t.Errorf("%s: wait n=%d != service n=%d", r.Profile, r.Wait.Count, r.Service.Count)
+		}
+		// The end-to-end fill time includes the L2 round trip, so its
+		// mean cannot undercut the controller's service time.
+		if r.Fill.Mean() < r.Service.Mean() {
+			t.Errorf("%s: fill mean %.1f < service mean %.1f", r.Profile, r.Fill.Mean(), r.Service.Mean())
+		}
+	}
+	// The die-stacked profile's banks are faster than the commodity
+	// DIMM's; the service distribution must reflect that.
+	if rows[1].Service.Mean() >= rows[0].Service.Mean() {
+		t.Errorf("hbm service mean %.1f >= ddr %.1f", rows[1].Service.Mean(), rows[0].Service.Mean())
+	}
+}
+
+func TestLatDistRender(t *testing.T) {
+	out := RenderLatDist(LatDist(latDistRunner()))
+	for _, want := range []string{"read-latency distributions", "queue-wait", "service", "miss-to-fill", "ddr", "hbm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 4 {
+		t.Errorf("render has %d lines, want a table", lines)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/kernels"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vmem"
 )
@@ -37,6 +38,12 @@ type SimResult struct {
 	DRAM     dram.Stats         // zero-valued under the flat model
 	MSHR     vmem.MSHRStats     // zero-valued under the blocking model
 	PF       vmem.PrefetchStats // zero-valued with the prefetcher off
+
+	// Snap is the stats-registry snapshot of the run: every registered
+	// counter, gauge and histogram under the unified naming scheme
+	// (core.*, cache.*, vmem.*, dram.*). The struct copies above remain
+	// for the figure builders; exporters should prefer the snapshot.
+	Snap stats.Snapshot
 }
 
 // Cycles is shorthand for the simulated execution time.
@@ -197,6 +204,10 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 		res.MSHR = *f.Stats()
 		res.PF = f.PrefetchStats()
 	}
+	reg := stats.NewRegistry()
+	st.Register(reg)
+	ms.Register(reg)
+	res.Snap = reg.Snapshot()
 	r.results[key] = res
 	return res
 }

@@ -1,0 +1,102 @@
+package stats_test
+
+// The registration-coverage net: build the most fully-loaded memory
+// system the simulator can configure (SDRAM backend, MSHR file, stream
+// prefetcher, both cache levels), register everything, and reflect over
+// every stat-bearing struct type. Any exported field without a
+// registered name fails the test — so a new counter added to any Stats
+// struct cannot ship unregistered, and the exporters (momsim
+// -statsjson, momexp's BENCH_PR6.json, the golden table) stay complete
+// by construction.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/stats"
+	"repro/internal/vmem"
+)
+
+// loadedSystem builds a memory system that instantiates every optional
+// subsystem, plus a core.Stats, and registers both.
+func loadedSystem(t *testing.T) (*stats.Registry, *core.MemSystem) {
+	t.Helper()
+	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	ms := core.NewMemSystem(core.MemVectorCache3D, tim, 4, false)
+	reg := stats.NewRegistry()
+	(&core.Stats{}).Register(reg)
+	ms.Register(reg)
+	return reg, ms
+}
+
+func TestRegistryCoversAllStats(t *testing.T) {
+	reg, ms := loadedSystem(t)
+	snap := reg.Snapshot()
+
+	// The sanity preconditions: the loaded system really instantiated
+	// the optional subsystems this test exists to cover.
+	if ms.MSHR() == nil || ms.MSHR().Prefetcher() == nil || ms.DRAM() == nil {
+		t.Fatal("loaded system is missing a subsystem; the coverage below would be vacuous")
+	}
+
+	cases := []struct {
+		prefix string
+		typ    reflect.Type
+	}{
+		{"core", reflect.TypeOf(core.Stats{})},
+		{"cache.l1", reflect.TypeOf(cache.Stats{})},
+		{"cache.l2", reflect.TypeOf(cache.Stats{})},
+		{"vmem", reflect.TypeOf(vmem.Stats{})},
+		{"vmem.mshr", reflect.TypeOf(vmem.MSHRStats{})},
+		{"vmem.prefetch", reflect.TypeOf(vmem.PrefetchStats{})},
+		{"dram", reflect.TypeOf(dram.Stats{})},
+	}
+	histType := reflect.TypeOf((*stats.Histogram)(nil))
+	for _, c := range cases {
+		for i := 0; i < c.typ.NumField(); i++ {
+			f := c.typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := c.prefix + "." + stats.SnakeCase(f.Name)
+			switch {
+			case f.Type.Kind() == reflect.Array:
+				for j := 0; j < f.Type.Len(); j++ {
+					if idx := fmt.Sprintf("%s.%d", name, j); !snap.Has(idx) {
+						t.Errorf("%s.%s: indexed counter %q unregistered", c.typ, f.Name, idx)
+					}
+				}
+			case f.Type == histType:
+				if _, ok := snap.Hists[name]; !ok {
+					t.Errorf("%s.%s: histogram %q unregistered", c.typ, f.Name, name)
+				}
+			default:
+				if !snap.Has(name) {
+					t.Errorf("%s.%s: %q unregistered — wire it into AddStruct or the Register seam",
+						c.typ, f.Name, name)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryCoversMemSystemExtras pins the names the Register seam
+// adds by hand, outside any struct walk.
+func TestRegistryCoversMemSystemExtras(t *testing.T) {
+	reg, _ := loadedSystem(t)
+	snap := reg.Snapshot()
+	for _, name := range []string{"vmem.scalar_l2_accesses"} {
+		if !snap.Has(name) {
+			t.Errorf("hand-registered name %q missing", name)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// DefaultTraceEvents is the ring capacity used when a tracer is
+// enabled without choosing one: large enough to hold every event of
+// the small kernels, bounded enough that a long run cannot grow
+// without limit (the ring keeps the most recent events).
+const DefaultTraceEvents = 1 << 20
+
+// Event is one cycle-stamped trace event. Dur == 0 renders as a
+// Chrome instant event ("ph":"i"), Dur > 0 as a complete event
+// ("ph":"X") spanning [Cycle, Cycle+Dur).
+type Event struct {
+	Cycle int64  // start cycle
+	Dur   int64  // duration in cycles; 0 = instant
+	Cat   string // subsystem category: "dram", "mshr", "pf", ...
+	Name  string // event name: "activate", "merge", "fire", ...
+	Addr  uint64 // memory address, 0 if not applicable
+	ID    uint64 // request/entry identity, 0 if not applicable
+	Lane  int    // renders as the Chrome tid: channel, bank, stream...
+}
+
+// Tracer is a ring buffer of cycle-stamped events. A nil *Tracer is
+// the disabled state: Emit on nil is a no-op, so every subsystem hook
+// costs one nil check when tracing is off. Not safe for concurrent
+// use, matching the rest of the simulator.
+type Tracer struct {
+	ring    []Event
+	next    int    // ring index of the next write
+	wrapped bool   // ring has overwritten old events
+	total   uint64 // events ever emitted
+}
+
+// NewTracer returns a tracer holding at most capacity events (the most
+// recent ones win). capacity <= 0 selects DefaultTraceEvents.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.wrapped = true
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total returns the number of events ever emitted (retained + dropped).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// chromeEvent is one entry of a Chrome trace-event JSON file
+// (the "JSON Array Format" inside a traceEvents object, loadable by
+// chrome://tracing and Perfetto). Timestamps are in cycles, reported
+// through the microsecond field.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level Chrome trace document.
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Meta        map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeJSON writes the retained events as Chrome trace-event
+// JSON, sorted by start cycle. The displayTimeUnit is left at the
+// microsecond default; one "microsecond" is one simulator cycle.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+	doc := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(evs))}
+	if t != nil {
+		doc.Meta = map[string]any{
+			"timeUnit":      "cycles",
+			"totalEvents":   t.Total(),
+			"droppedEvents": t.Dropped(),
+		}
+	}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			TS:   e.Cycle,
+			PID:  1,
+			TID:  e.Lane,
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = e.Dur
+		} else {
+			ce.Ph = "i"
+			ce.S = "t" // instant scope: thread
+		}
+		args := map[string]any{}
+		if e.Addr != 0 {
+			args["addr"] = e.Addr
+		}
+		if e.ID != 0 {
+			args["id"] = e.ID
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

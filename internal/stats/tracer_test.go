@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Cycle: 1, Cat: "dram", Name: "issue"}) // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer reports nonzero state")
+	}
+	if tr.Events() != nil {
+		t.Error("nil tracer Events() != nil")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatalf("nil tracer WriteChromeJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer emitted invalid JSON: %v", err)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int64(0); i < 10; i++ {
+		tr.Emit(Event{Cycle: i, Cat: "x", Name: "e"})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Errorf("Total/Dropped = %d/%d, want 10/6", tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (most recent retained, in order)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(Event{Cycle: 5, Cat: "mshr", Name: "alloc", Addr: 0x1000, ID: 3, Lane: 1})
+	tr.Emit(Event{Cycle: 2, Dur: 7, Cat: "dram", Name: "burst", Addr: 0x2000, Lane: 0})
+	tr.Emit(Event{Cycle: 9, Cat: "pf", Name: "fire"})
+
+	var b bytes.Buffer
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the emitted file back: well-formed Chrome trace JSON.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Meta map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+	// Sorted by start cycle.
+	last := int64(-1)
+	for _, e := range doc.TraceEvents {
+		if e.TS < last {
+			t.Errorf("events not sorted by ts: %d after %d", e.TS, last)
+		}
+		last = e.TS
+	}
+	// Duration events render as "X", instants as "i".
+	first := doc.TraceEvents[0]
+	if first.Name != "burst" || first.Ph != "X" || first.Dur != 7 {
+		t.Errorf("duration event = %+v, want burst/X/dur=7", first)
+	}
+	second := doc.TraceEvents[1]
+	if second.Name != "alloc" || second.Ph != "i" {
+		t.Errorf("instant event = %+v, want alloc/i", second)
+	}
+	if got, ok := second.Args["addr"].(float64); !ok || uint64(got) != 0x1000 {
+		t.Errorf("alloc args addr = %v, want 0x1000", second.Args["addr"])
+	}
+	if doc.Meta["timeUnit"] != "cycles" {
+		t.Errorf("otherData.timeUnit = %v, want cycles", doc.Meta["timeUnit"])
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if cap(tr.ring) != DefaultTraceEvents {
+		t.Errorf("default capacity = %d, want %d", cap(tr.ring), DefaultTraceEvents)
+	}
+}

@@ -3,6 +3,7 @@ package vmem
 import (
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/stats"
 )
 
 // This file implements the non-blocking side of the vector memory
@@ -51,6 +52,11 @@ type MSHRStats struct {
 
 	OccSum uint64 // outstanding (unresolved) entries sampled per alloc
 	OccMax int    // high-water mark of outstanding entries
+
+	// Fill is the miss-to-fill latency distribution: primary-miss
+	// arrival (after any full-stall) to fill completion, per resolved
+	// entry, prefetch fills included.
+	Fill *stats.Histogram
 }
 
 // MLP is the mean number of line misses outstanding when a new miss
@@ -129,6 +135,7 @@ type MSHRFile struct {
 
 	trainBuf []uint64 // scratch: this Register's training lines
 
+	tr *stats.Tracer // event tracer, nil = off
 	st MSHRStats
 }
 
@@ -150,7 +157,7 @@ func NewMSHRFile(tim Timing, n int) *MSHRFile {
 	if n < 1 {
 		n = 1
 	}
-	return &MSHRFile{
+	f := &MSHRFile{
 		tim:      tim,
 		cap:      n,
 		blocking: n <= 1,
@@ -160,6 +167,24 @@ func NewMSHRFile(tim Timing, n int) *MSHRFile {
 		pendByID: map[uint64]*mshrEntry{},
 		nextID:   1, // 0 tags write-backs, which never resolve an entry
 	}
+	f.st.Fill = stats.NewHistogram()
+	return f
+}
+
+// SetTracer attaches a cycle-stamped event tracer (nil turns tracing
+// off, the default).
+func (f *MSHRFile) SetTracer(t *stats.Tracer) { f.tr = t }
+
+// resolve settles one entry's fill completion, feeding the
+// miss-to-fill histogram and the trace.
+func (f *MSHRFile) resolve(e *mshrEntry, done int64) {
+	e.done, e.resolved = done, true
+	f.st.Fill.Observe(done - e.at)
+	if f.tr != nil {
+		f.tr.Emit(stats.Event{Cycle: e.at, Dur: done - e.at, Cat: "mshr", Name: "fill",
+			Addr: e.line, ID: e.id})
+	}
+	f.classifyPrefetch(e)
 }
 
 // AttachPrefetcher wires a stream prefetcher into the file: l2 is the
@@ -183,14 +208,15 @@ func (f *MSHRFile) Prefetcher() *Prefetcher { return f.pf }
 
 // PrefetchStats returns the prefetcher's counters with the Useless
 // count filled in from the L2's eviction accounting (the zero value
-// when no prefetcher is attached).
+// when no prefetcher is attached). The sync writes through to the
+// live struct, so a stats registry wrapping the prefetcher's counters
+// sees Useless too — core's registration snapshots via this method.
 func (f *MSHRFile) PrefetchStats() PrefetchStats {
 	if f.pf == nil {
 		return PrefetchStats{}
 	}
-	st := *f.pf.Stats()
-	st.Useless = f.l2.Stats.PrefetchUseless
-	return st
+	f.pf.st.Useless = f.l2.Stats.PrefetchUseless
+	return *f.pf.Stats()
 }
 
 // Cap is the file's MSHR count.
@@ -246,8 +272,7 @@ func (f *MSHRFile) flush() {
 				continue
 			}
 			if e := f.pendByID[c.ID]; e != nil {
-				e.done, e.resolved = c.Done, true
-				f.classifyPrefetch(e)
+				f.resolve(e, c.Done)
 			}
 		}
 	} else {
@@ -258,8 +283,7 @@ func (f *MSHRFile) flush() {
 				continue
 			}
 			if e := f.pendByID[r.ID]; e != nil {
-				e.done, e.resolved = r.At+f.tim.MemLatency, true
-				f.classifyPrefetch(e)
+				f.resolve(e, r.At+f.tim.MemLatency)
 			}
 		}
 	}
@@ -299,6 +323,9 @@ func (f *MSHRFile) allocate(addr uint64, at int64) (*mshrEntry, int64) {
 	f.entries = append(f.entries, e)
 	f.byLine[e.line] = e
 	f.st.Allocs++
+	if f.tr != nil {
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id})
+	}
 	occ := f.Outstanding() // already counts the just-appended entry
 	f.st.OccSum += uint64(occ)
 	if occ > f.st.OccMax {
@@ -352,6 +379,9 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 			e := &mshrEntry{line: r.Addr &^ f.lineMask, id: f.nextID, at: r.At}
 			f.nextID++
 			f.st.Allocs++
+			if f.tr != nil {
+				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id})
+			}
 			r.ID = e.id
 			f.pending = append(f.pending, r)
 			f.pendByID[e.id] = e
@@ -397,6 +427,9 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 			// issue again (each issued prefetch gets exactly one
 			// outcome); it only reuses the in-flight fill's timing.
 			f.st.Merges++
+			if f.tr != nil {
+				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "merge", Addr: line, ID: e.id})
+			}
 			if e.prefetch && !e.demanded {
 				e.classified = true
 			}
@@ -417,6 +450,9 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 	if f.pf != nil {
 		for _, line := range f.trainBuf {
 			at := occDone
+			if f.tr != nil {
+				f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "train", Addr: line})
+			}
 			for _, cand := range f.pf.Observe(line) {
 				f.injectPrefetch(cand, at)
 			}
@@ -535,11 +571,17 @@ func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
 	f.free(at)
 	if len(f.entries) >= f.cap || f.prefetchLive() >= f.prefetchQuota() {
 		f.pf.st.DroppedMSHR++
+		if f.tr != nil {
+			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_mshr", Addr: line})
+		}
 		return
 	}
 	if victim, dirty, _ := f.l2.PeekVictim(line); dirty &&
 		f.tim.Backend != nil && !f.tim.Backend.WriteRoom(victim) {
 		f.pf.st.DroppedWQ++
+		if f.tr != nil {
+			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_wq", Addr: line})
+		}
 		return
 	}
 	res := f.l2.FillPrefetch(line)
@@ -554,6 +596,9 @@ func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
 		f.st.Writebacks++
 	}
 	f.pf.st.Issued++
+	if f.tr != nil {
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "fire", Addr: line, ID: e.id})
+	}
 }
 
 // Drain flushes anything still pending; callers then read final
