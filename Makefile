@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench rpsweep stats trace fmt-check vet
+.PHONY: verify build test test-race bench rpsweep ifsweep stats trace tenants fmt-check vet
 
 verify: build test
 
@@ -52,6 +52,26 @@ trace:
 # demand-only and prefetch traffic on the streaming kernels.
 rpsweep:
 	go run ./cmd/momexp -rpsweep -q
+
+# ifsweep regenerates the multi-tenant interference matrix
+# (EXPERIMENTS.md's reference table): every tenant mix solo, shared
+# under plain FR-FCFS, and shared under QoS credit scheduling.
+ifsweep:
+	go run ./cmd/momexp -ifsweep -q
+
+# tenants smokes the multi-requestor front end under the race detector:
+# two motionsearch instances in lockstep on one shared QoS-scheduled
+# part, with the per-tenant registry exporter on. The lockstep group and
+# the sharded stat paths must stay race-free, and the export must carry
+# both tenants' shards.
+tenants:
+	go run -race ./cmd/momsim -bench motionsearch -isa mom3d -mem vcache3d \
+		-dram sdram -tenants 2 -qos -statsjson /tmp/momsim_tenants.json
+	@python3 -c "import json; d=json.load(open('/tmp/momsim_tenants.json')); \
+		names=list(d['counters'])+list(d['gauges'])+list(d['histograms']); \
+		assert any(n.startswith('tenant.0.') for n in names), 'tenant 0 shard missing'; \
+		assert any(n.startswith('tenant.1.dram.') for n in names), 'tenant 1 dram shard missing'; \
+		print('tenants OK:', sum(n.startswith('tenant.') for n in names), 'per-tenant stat names')"
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

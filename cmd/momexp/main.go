@@ -12,6 +12,7 @@
 //	momexp -mshrsweep   the blocking-vs-MSHR non-blocking pipeline sweep
 //	momexp -pfsweep     the stream-prefetcher sweep over the streaming kernels
 //	momexp -rpsweep     the per-bank row-policy sweep (open/close/timer/history)
+//	momexp -ifsweep     the multi-tenant interference sweep (FR-FCFS vs QoS)
 //	momexp -latdist     the ddr-vs-hbm read-latency distribution table
 //	momexp -statsjson BENCH_PR6.json  write the golden-matrix registry snapshots as JSON
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
@@ -39,6 +40,7 @@ func main() {
 	mshrsweep := flag.Bool("mshrsweep", false, "print only the blocking-vs-MSHR pipeline sweep")
 	pfsweep := flag.Bool("pfsweep", false, "print only the stream-prefetcher sweep (streaming kernels)")
 	rpsweep := flag.Bool("rpsweep", false, "print only the per-bank row-policy sweep (streaming kernels)")
+	ifsweep := flag.Bool("ifsweep", false, "print only the multi-tenant interference sweep (FR-FCFS vs QoS scheduling)")
 	latdist := flag.Bool("latdist", false, "print only the ddr-vs-hbm read-latency distribution table")
 	statsjson := flag.String("statsjson", "", "write the golden-matrix registry snapshots to this file as JSON and exit")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
@@ -111,6 +113,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -rpsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-rp/-mshr/-pf")
 		os.Exit(2)
 	}
+	if *ifsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -ifsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
 	if *latdist && (dramSet || dramKnobSet || mshrSet || pfSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -latdist compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
@@ -177,6 +183,8 @@ func main() {
 		fmt.Print(experiments.RenderPFSweep(experiments.PFSweep(r)))
 	case *rpsweep:
 		fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
+	case *ifsweep:
+		fmt.Print(experiments.RenderIFSweep(experiments.IFSweep(r)))
 	case *latdist:
 		fmt.Print(experiments.RenderLatDist(experiments.LatDist(r)))
 	case *fig != 0:

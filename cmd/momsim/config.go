@@ -31,9 +31,17 @@ type options struct {
 	PF     int
 	PFD    int
 	PFQ    int
+	PFDec  int
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
+
+	// Multi-tenant front end: Tenants runs that many instances of the
+	// kernel trace through one shared L2/MSHR/DRAM (1 = the classic
+	// single-requestor simulator); QoS turns on per-tenant credit
+	// scheduling in the sdram channel scheduler.
+	Tenants int
+	QoS     bool
 
 	// Observability outputs: Trace writes a Chrome trace-event JSON
 	// file (TraceBuf sizes the event ring; 0 = default), StatsJSON
@@ -48,7 +56,7 @@ func defaultOptions() options {
 	return options{
 		Bench: "mpeg2encode", ISA: "mom3d", Mem: "vcache3d",
 		DRAM: "fixed", DMap: "line", DSched: "frfcfs", DProf: "ddr", RP: "open",
-		L2Lat: 20, MemLat: 100,
+		L2Lat: 20, MemLat: 100, Tenants: 1,
 	}
 }
 
@@ -59,6 +67,8 @@ type runConfig struct {
 	Core    core.Config
 	MemKind core.MemKind
 	Timing  vmem.Timing
+	Tenants int  // concurrent requestors (1 = single-requestor path)
+	QoS     bool // per-tenant credit scheduling in the sdram controller
 
 	Trace     string // Chrome trace-event JSON output path ("" = off)
 	StatsJSON string // registry-snapshot JSON output path ("" = off)
@@ -86,9 +96,28 @@ func resolve(o options) (runConfig, error) {
 	if err != nil {
 		return rc, err
 	}
+	if o.Tenants < 1 {
+		return rc, fmt.Errorf("-tenants must be at least 1 (got %d)", o.Tenants)
+	}
+	if o.QoS && o.Tenants < 2 {
+		return rc, fmt.Errorf("-qos partitions the channel between requestors; it needs -tenants >= 2")
+	}
+	if o.QoS && strings.ToLower(o.DRAM) != "sdram" {
+		return rc, fmt.Errorf("-qos is a channel-scheduler feature; it requires -dram sdram")
+	}
+	if o.Tenants > 1 && memKind == core.MemIdeal {
+		return rc, fmt.Errorf("-tenants needs a shared cache hierarchy to contend for; it has no effect with -mem ideal")
+	}
+	// The backend only learns the tenant count when it matters to it:
+	// a multi-tenant run (stat shards and, with QoS, credit scheduling).
+	tn := 0
+	if o.Tenants > 1 {
+		tn = o.Tenants
+	}
 	knobs := dram.Knobs{Channels: o.DChan, WQDrain: o.DWQ, Window: o.DWin,
 		WQLow: o.DWQL, WQIdle: int64(o.DWQI), MSHRs: o.MSHR,
-		PFStreams: o.PF, PFDegree: o.PFD, PFQ: o.PFQ, RP: rp}
+		PFStreams: o.PF, PFDegree: o.PFD, PFQ: o.PFQ, PFDecay: o.PFDec,
+		Tenants: tn, QoS: o.QoS, RP: rp}
 	backend, err := dram.BuildOpts(o.DRAM, o.DMap, o.DSched, o.DProf, knobs, o.MemLat)
 	if err != nil {
 		return rc, err
@@ -115,6 +144,7 @@ func resolve(o options) (runConfig, error) {
 	rc.MemKind = memKind
 	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend,
 		MSHRs: o.MSHR, PFStreams: o.PF, PFDegree: o.PFD}
+	rc.Tenants, rc.QoS = o.Tenants, o.QoS
 	rc.Trace, rc.StatsJSON, rc.TraceBuf = o.Trace, o.StatsJSON, o.TraceBuf
 	return rc, nil
 }

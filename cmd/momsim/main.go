@@ -23,6 +23,16 @@
 // first, and -pfq caps how many speculative reads may sit in one
 // channel's read queue.
 //
+// Multi-tenant traffic: -tenants M runs M concurrent instances of the
+// kernel through ONE shared L2 + MSHR file + DRAM backend (each tenant
+// keeps its own core, L1 and vector subsystem), stepping the cores in
+// per-cycle lockstep and reporting per-tenant IPC and DRAM read
+// latency. -qos turns on per-tenant credit scheduling in the sdram
+// channel scheduler so a streaming tenant cannot starve a
+// latency-sensitive one; -pfdecay N lets the demand-first latch decay
+// after N deferral-free cycles so phased workloads recover full
+// FR-FCFS standing for speculative reads.
+//
 // Observability: -statsjson <file> dumps every registered counter and
 // histogram as deterministic JSON (the internal/stats registry
 // snapshot); -trace <file> writes a cycle-stamped Chrome trace-event
@@ -40,9 +50,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/dram/policy"
+	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -65,6 +77,9 @@ func main() {
 	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
 	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
 	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
+	pfdecay := flag.Int("pfdecay", 0, "sdram demand-first latch decay: deferral-free cycles before speculative reads regain FR-FCFS standing (0 = sticky latch)")
+	tenants := flag.Int("tenants", def.Tenants, "concurrent requestors sharing L2/MSHR/DRAM, each running its own instance of the kernel (1 = single-requestor simulator)")
+	qos := flag.Bool("qos", false, "per-tenant credit scheduling in the sdram channel scheduler (needs -tenants >= 2)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
@@ -79,7 +94,7 @@ func main() {
 	dramKnobSet, dramSet, mlatSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin", "rp", "pfq":
+		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin", "rp", "pfq", "pfdecay", "qos":
 			dramKnobSet = true
 		case "dram":
 			dramSet = true
@@ -95,7 +110,8 @@ func main() {
 		Bench: *benchName, ISA: *isaName, Mem: *memName,
 		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof, RP: *rp,
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
-		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq,
+		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq, PFDec: *pfdecay,
+		Tenants: *tenants, QoS: *qos,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
 		Trace: *traceFile, StatsJSON: *statsFile, TraceBuf: *traceBuf,
 	})
@@ -117,6 +133,11 @@ func main() {
 		if string(digest) != string(ref) {
 			fail("kernel output does not match the scalar reference")
 		}
+	}
+
+	if rc.Tenants > 1 {
+		runTenants(rc, tr.Insts, tst)
+		return
 	}
 
 	ms := core.NewMemSystem(rc.MemKind, rc.Timing, rc.Core.Lanes, rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal)
@@ -218,32 +239,109 @@ func main() {
 		reg := stats.NewRegistry()
 		st.Register(reg)
 		ms.Register(reg)
-		fh, err := os.Create(rc.StatsJSON)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := reg.Snapshot().WriteJSON(fh); err != nil {
-			fail("writing %s: %v", rc.StatsJSON, err)
-		}
-		if err := fh.Close(); err != nil {
-			fail("writing %s: %v", rc.StatsJSON, err)
-		}
-		fmt.Printf("stats: wrote %d registered stats to %s\n", len(reg.Names()), rc.StatsJSON)
+		writeStatsJSON(rc.StatsJSON, reg)
 	}
 	if tracer != nil {
-		fh, err := os.Create(rc.Trace)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := tracer.WriteChromeJSON(fh); err != nil {
-			fail("writing %s: %v", rc.Trace, err)
-		}
-		if err := fh.Close(); err != nil {
-			fail("writing %s: %v", rc.Trace, err)
-		}
-		fmt.Printf("trace: wrote %d events to %s (%d emitted, %d dropped by the ring)\n",
-			tracer.Len(), rc.Trace, tracer.Total(), tracer.Dropped())
+		writeTraceJSON(rc.Trace, tracer)
 	}
+}
+
+// runTenants is the multi-requestor path: rc.Tenants instances of the
+// kernel trace contend for one shared memory system, stepped in
+// per-cycle lockstep by the tenant group.
+func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
+	traces := make([][]isa.Inst, rc.Tenants)
+	for i := range traces {
+		traces[i] = insts
+	}
+	g := tenant.New(tenant.Options{
+		Core: rc.Core, Kind: rc.MemKind, Tim: rc.Timing, Lanes: rc.Core.Lanes,
+		BankL1: rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal,
+		Traces: traces,
+	})
+	var tracer *stats.Tracer
+	if rc.Trace != "" {
+		tracer = stats.NewTracer(rc.TraceBuf)
+		g.AttachTracer(tracer)
+	}
+	g.Run()
+
+	qosTag := ""
+	if rc.QoS {
+		qosTag = ", qos"
+	}
+	fmt.Printf("benchmark:   %s (%s, %s, dram=%s, %d tenants%s)\n",
+		rc.Bench.Name, rc.Variant, rc.MemKind, rc.Timing.Backend.Name(), g.N(), qosTag)
+	for i := 0; i < g.N(); i++ {
+		st := g.Stats(i)
+		fmt.Printf("tenant %d: %d instructions, %d cycles, IPC %.3f\n",
+			i, st.Committed, st.Cycles, st.IPC())
+		if ts := g.TenantStatsOf(i); ts != nil {
+			fmt.Printf("  dram: %d reads (%d prefetch), %d writes, %d bytes, %d qos-deferred\n",
+				ts.Reads, ts.PrefetchReads, ts.Writes, ts.Bytes, ts.QoSDeferred)
+			if ts.ReadLatency.Count() > 0 {
+				fmt.Printf("  dram read latency: %s\n", ts.ReadLatency)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Print(tst.String())
+	// Drain any posted writes so the shared totals account for all
+	// traffic every tenant generated.
+	if sd, ok := rc.Timing.Backend.(*dram.SDRAM); ok {
+		sd.Flush()
+	}
+	if ds := rc.Timing.Backend.Stats(); ds.Accesses > 0 {
+		fmt.Printf("\ndram (%s, shared): %d requests, %.2f bytes/cycle\n",
+			rc.Timing.Backend.Name(), ds.Accesses, ds.AchievedBandwidth())
+		if ds.QoSDeferred > 0 || rc.QoS {
+			fmt.Printf("dram qos: %d reads deferred past a tenant's credit\n", ds.QoSDeferred)
+		}
+		if ds.DemandFirstLapses > 0 {
+			fmt.Printf("dram demand-first latch: %d decay lapses\n", ds.DemandFirstLapses)
+		}
+	}
+
+	if rc.StatsJSON != "" {
+		reg := stats.NewRegistry()
+		g.Register(reg)
+		writeStatsJSON(rc.StatsJSON, reg)
+	}
+	if tracer != nil {
+		writeTraceJSON(rc.Trace, tracer)
+	}
+}
+
+// writeStatsJSON dumps the registry snapshot; shared by the single- and
+// multi-tenant paths.
+func writeStatsJSON(path string, reg *stats.Registry) {
+	fh, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := reg.Snapshot().WriteJSON(fh); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	if err := fh.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	fmt.Printf("stats: wrote %d registered stats to %s\n", len(reg.Names()), path)
+}
+
+// writeTraceJSON dumps the tracer ring as Chrome trace-event JSON.
+func writeTraceJSON(path string, tracer *stats.Tracer) {
+	fh, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := tracer.WriteChromeJSON(fh); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	if err := fh.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	fmt.Printf("trace: wrote %d events to %s (%d emitted, %d dropped by the ring)\n",
+		tracer.Len(), path, tracer.Total(), tracer.Dropped())
 }
 
 func fail(format string, args ...any) {

@@ -110,6 +110,46 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 	return m
 }
 
+// NewTenantMemSystems builds n front-end views of ONE shared memory
+// system: a single L2, MSHR file, prefetcher and DRAM backend serve
+// every tenant, while each tenant keeps its own L1, vector subsystem
+// and scalar path (mirroring one core per requestor). Tenant i's
+// Timing carries Tenant=i, so every miss it files is requestor-tagged
+// on the opaque ID path all the way into the backend. Tenant 0's view
+// is constructed by NewMemSystem itself, so a 1-tenant system is the
+// single-requestor system, bit for bit.
+func NewTenantMemSystems(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool, n int) []*MemSystem {
+	if n < 1 {
+		panic("core: tenant count must be at least 1")
+	}
+	mems := make([]*MemSystem, n)
+	mems[0] = NewMemSystem(kind, tim, lanes, bankL1)
+	for i := 1; i < n; i++ {
+		m := &MemSystem{Kind: kind, Tim: mems[0].Tim}
+		m.Tim.Tenant = i
+		if kind == MemIdeal {
+			m.VM = vmem.NewIdeal()
+			mems[i] = m
+			continue
+		}
+		m.L1 = cache.New(cache.L1Config())
+		m.L2 = mems[0].L2 // shared: all tenants contend for the same lines
+		switch kind {
+		case MemMultiBanked:
+			m.VM = vmem.NewMultiBanked(m.L2, m.L1, m.Tim, 4, 8)
+		case MemVectorCache:
+			m.VM = vmem.NewVectorCache(m.L2, m.L1, m.Tim, lanes, false)
+		case MemVectorCache3D:
+			m.VM = vmem.NewVectorCache(m.L2, m.L1, m.Tim, lanes, true)
+		}
+		if bankL1 {
+			m.l1Banks = make([]int64, 8)
+		}
+		mems[i] = m
+	}
+	return mems
+}
+
 // ScalarAccess schedules one scalar or μSIMD memory access issued at
 // cycle t. The int64 is the cycle the access clears the L1/L2 pipeline
 // (final for hits and stores); the Pending handle, when non-nil,

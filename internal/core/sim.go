@@ -120,6 +120,12 @@ type Sim struct {
 	mispredictPend bool
 	fetchResumeAt  int64
 
+	// Stepping state, owned by Step so a Sim can be advanced one
+	// cycle at a time interleaved with other requestors.
+	insts           []isa.Inst
+	next            int // next trace index to dispatch
+	lastCommitCycle int64
+
 	now   int64
 	stats Stats
 }
@@ -143,30 +149,61 @@ func (s *Sim) classLimit(c isa.RegClass) int {
 // Simulate runs the dynamic instruction stream to completion and returns
 // the statistics. The memory system accumulates its own counters.
 func Simulate(cfg Config, mem *MemSystem, insts []isa.Inst) *Stats {
-	s := &Sim{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.Window),
+	s := NewSim(cfg, mem, insts)
+	for s.Running() {
+		s.Step()
+	}
+	st := s.Finish()
+	mem.Drain()
+	return st
+}
+
+// NewSim builds a simulator that is advanced one cycle at a time via
+// Step. Simulate is the single-requestor wrapper; the tenant front end
+// steps several Sims in lockstep against a shared memory system.
+func NewSim(cfg Config, mem *MemSystem, insts []isa.Inst) *Sim {
+	s := &Sim{cfg: cfg, mem: mem, insts: insts,
+		rob:       make([]robEntry, cfg.Window),
 		pendBySeq: map[uint64]pendRec{}}
 	if cfg.UseGshare {
 		s.pht = make([]int8, 1<<cfg.GshareBits)
 	}
-	next := 0 // next trace index to dispatch
-	lastCommitCycle := int64(0)
-	for next < len(insts) || s.count > 0 {
-		s.prunePending()
-		if s.commit() {
-			lastCommitCycle = s.now
-		}
-		s.issue()
-		next = s.dispatch(insts, next)
-		s.now++
-		if s.now-lastCommitCycle > noProgressLimit {
-			panic(fmt.Sprintf("core: no commit progress at cycle %d (trace pos %d/%d, rob %d)",
-				s.now, next, len(insts), s.count))
-		}
+	return s
+}
+
+// Running reports whether another Step would do work: trace left to
+// dispatch or instructions still in the window.
+func (s *Sim) Running() bool {
+	return s.next < len(s.insts) || s.count > 0
+}
+
+// Step advances the pipeline one cycle in the same stage order the
+// original monolithic loop used: prune, commit, issue, dispatch.
+func (s *Sim) Step() {
+	s.prunePending()
+	if s.commit() {
+		s.lastCommitCycle = s.now
 	}
-	// The window is empty, but the non-blocking pipeline may still have
-	// misses in flight; the run ends when the last one lands. (The
-	// end-of-trace acts as the pipeline's only barrier — the ISA has no
-	// explicit fence instruction.)
+	s.issue()
+	s.next = s.dispatch(s.insts, s.next)
+	s.now++
+	if s.now-s.lastCommitCycle > noProgressLimit {
+		panic(fmt.Sprintf("core: no commit progress at cycle %d (trace pos %d/%d, rob %d)",
+			s.now, s.next, len(s.insts), s.count))
+	}
+}
+
+// StatsRef exposes the simulator's live counters (the same struct
+// Finish returns) so a registry can be wired up before the run.
+func (s *Sim) StatsRef() *Stats { return &s.stats }
+
+// Finish settles the end-of-run cycle count once Running is false. The
+// window is empty, but the non-blocking pipeline may still have misses
+// in flight; the run ends when the last one lands. (The end-of-trace
+// acts as the pipeline's only barrier — the ISA has no explicit fence
+// instruction.) Finish does NOT drain the memory system: with a shared
+// backend the caller drains once after every requestor has finished.
+func (s *Sim) Finish() *Stats {
 	s.stats.Cycles = s.now
 	for _, rec := range s.pendBySeq {
 		if d := rec.h.Done(); d > s.stats.Cycles {
@@ -178,7 +215,6 @@ func Simulate(cfg Config, mem *MemSystem, insts []isa.Inst) *Stats {
 			s.stats.Cycles = d
 		}
 	}
-	mem.Drain()
 	return &s.stats
 }
 

@@ -161,6 +161,15 @@ type Stats struct {
 	PrefetchReads    uint64
 	PrefetchDeferred uint64
 
+	// DemandFirstLapses counts channels' demand-first latches decaying
+	// back to classic FR-FCFS after Config.PFDecay quiet cycles (always
+	// 0 under the default sticky latch). QoSDeferred counts scheduling
+	// turns an over-share tenant's read yielded to an under-share
+	// tenant's in the QoS window pick (Config.QoS) — the same read can
+	// yield several turns before it is served.
+	DemandFirstLapses uint64
+	QoSDeferred       uint64
+
 	// Row-policy accounting (internal/dram/policy): RowClosedEarly
 	// counts rows a policy precharged before a conflict or refresh
 	// would have (auto-precharge closes and fired idle timers);
@@ -293,6 +302,7 @@ type Fixed struct {
 	Latency   int64
 	lineBytes int
 	st        Stats
+	tst       []TenantStats
 	tr        *stats.Tracer
 	comps     []Completion
 }
@@ -323,10 +333,26 @@ func (f *Fixed) MinReadLatency() int64 { return f.Latency }
 func (f *Fixed) WriteRoom(uint64) bool { return true }
 
 // Reset implements Backend.
-func (f *Fixed) Reset() { f.st.reset() }
+func (f *Fixed) Reset() {
+	f.st.reset()
+	for i := range f.tst {
+		f.tst[i].reset()
+	}
+}
 
 // SetTracer implements Traceable.
 func (f *Fixed) SetTracer(t *stats.Tracer) { f.tr = t }
+
+// EnableTenantStats implements TenantAware.
+func (f *Fixed) EnableTenantStats(n int) {
+	f.tst = make([]TenantStats, n)
+	for i := range f.tst {
+		f.tst[i].init()
+	}
+}
+
+// TenantStatsOf implements TenantAware.
+func (f *Fixed) TenantStatsOf(i int) *TenantStats { return &f.tst[i] }
 
 // Submit implements Backend: every completion is At + Latency.
 func (f *Fixed) Submit(batch []Request) []Completion {
@@ -342,9 +368,23 @@ func (f *Fixed) Submit(batch []Request) []Completion {
 			f.st.ReadWait.Observe(0)
 			f.st.ReadService.Observe(f.Latency)
 		}
+		if len(f.tst) > 0 {
+			ts := &f.tst[TenantOf(r.ID)%len(f.tst)]
+			ts.Bytes += uint64(f.lineBytes)
+			if r.Write {
+				ts.Writes++
+			} else {
+				ts.Reads++
+				if r.Prefetch {
+					ts.PrefetchReads++
+				}
+				ts.ReadLatency.Observe(f.Latency)
+			}
+		}
 		if f.tr != nil {
-			f.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue", Addr: r.Addr, ID: r.ID})
-			f.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "complete", Addr: r.Addr, ID: r.ID})
+			ten := TenantOf(r.ID)
+			f.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue", Addr: r.Addr, ID: r.ID, Tenant: ten})
+			f.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "complete", Addr: r.Addr, ID: r.ID, Tenant: ten})
 		}
 		f.st.observe(r.At, done, f.lineBytes)
 		f.comps = append(f.comps, Completion{Addr: r.Addr, Write: r.Write, At: r.At, Done: done, ID: r.ID})

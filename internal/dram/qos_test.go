@@ -1,0 +1,117 @@
+package dram
+
+import "testing"
+
+// qosTestConfig is the two-tenant contention part: single channel,
+// single bank (so every request contends), an 8-deep reorder window and
+// a 16-deep queue, giving each of the two tenants an 8-request credit.
+func qosTestConfig(qos bool) Config {
+	cfg := testConfig()
+	cfg.ReorderWindow = 8
+	cfg.Tenants = 2
+	cfg.QoS = qos
+	return cfg
+}
+
+// starvationBatch is a flooding tenant 0 — a dozen sequential reads
+// down one row streak, all arrived at once — with sparse tenant 1's
+// single read (a different row) queued behind them. The batch FR-FCFS
+// serves worst: every tenant-0 read is a row hit, tenant 1's is the
+// lone conflict, so hit-first scheduling starves it.
+func starvationBatch() []Request {
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, Request{
+			Addr: uint64(i) * 128,
+			At:   0,
+			ID:   TagTenant(uint64(i), 0),
+		})
+	}
+	reqs = append(reqs, Request{
+		Addr: 1 << 20, // its own row, a guaranteed conflict
+		At:   0,
+		ID:   TagTenant(100, 1),
+	})
+	return reqs
+}
+
+// TestQoSUnstarvesSparseTenant: on the starvation batch, the credit
+// pick must serve the sparse tenant's read earlier than plain FR-FCFS
+// does — once the flooding tenant is past its queue share, its reads
+// yield — and the yields must be visible in both the global counter and
+// the flooding tenant's shard.
+func TestQoSUnstarvesSparseTenant(t *testing.T) {
+	batch := starvationBatch()
+	sparse := len(batch) - 1
+
+	base := NewSDRAM(qosTestConfig(false))
+	baseComps := base.Submit(batch)
+
+	qos := NewSDRAM(qosTestConfig(true))
+	qos.EnableTenantStats(2)
+	qosComps := qos.Submit(batch)
+
+	if qosComps[sparse].Done >= baseComps[sparse].Done {
+		t.Errorf("sparse tenant done at %d under QoS, %d under plain FR-FCFS — QoS must serve it earlier",
+			qosComps[sparse].Done, baseComps[sparse].Done)
+	}
+	if qos.Stats().QoSDeferred == 0 {
+		t.Error("no scheduling turns yielded: the credit pick never engaged")
+	}
+	if got := qos.TenantStatsOf(0).QoSDeferred; got == 0 {
+		t.Error("the flooding tenant's shard recorded no yields")
+	}
+	if got := qos.TenantStatsOf(1).QoSDeferred; got != 0 {
+		t.Errorf("the sparse tenant's shard recorded %d yields; it was never over its credit", got)
+	}
+
+	// QoS reorders service, it never drops or duplicates it: both runs
+	// complete every request and move the same bytes.
+	if a, b := base.Stats().Accesses, qos.Stats().Accesses; a != b {
+		t.Errorf("accesses diverged: %d vs %d", a, b)
+	}
+	if a, b := base.Stats().Bytes, qos.Stats().Bytes; a != b {
+		t.Errorf("bytes diverged: %d vs %d", a, b)
+	}
+	for i, c := range qosComps {
+		if c.Done <= batch[i].At {
+			t.Errorf("req %d: done %d not after arrival %d", i, c.Done, batch[i].At)
+		}
+	}
+}
+
+// TestQoSOffIsBitIdentical: a Tenants-tagged part with QoS off must
+// time exactly like the untagged single-requestor part — tagging and
+// stat sharding are pure observation.
+func TestQoSOffIsBitIdentical(t *testing.T) {
+	batch := starvationBatch()
+
+	plain := NewSDRAM(func() Config { c := testConfig(); c.ReorderWindow = 8; return c }())
+	var untagged []Request
+	for _, r := range batch {
+		r.ID &= (1 << TenantShift) - 1
+		untagged = append(untagged, r)
+	}
+	plainComps := plain.Submit(untagged)
+
+	tagged := NewSDRAM(qosTestConfig(false))
+	tagged.EnableTenantStats(2)
+	taggedComps := tagged.Submit(batch)
+
+	for i := range batch {
+		if plainComps[i].Done != taggedComps[i].Done {
+			t.Errorf("req %d: tagged done %d != untagged done %d", i, taggedComps[i].Done, plainComps[i].Done)
+		}
+	}
+	if a, b := plain.Stats().RowHits, tagged.Stats().RowHits; a != b {
+		t.Errorf("row hits diverged: %d vs %d", a, b)
+	}
+	if tagged.Stats().QoSDeferred != 0 {
+		t.Error("QoS-off part counted deferrals")
+	}
+	// The shards still observed the split.
+	if tagged.TenantStatsOf(0).Reads != 12 || tagged.TenantStatsOf(1).Reads != 1 {
+		t.Errorf("shard reads = %d/%d, want 12/1",
+			tagged.TenantStatsOf(0).Reads, tagged.TenantStatsOf(1).Reads)
+	}
+}

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -138,6 +139,23 @@ type Config struct {
 	// queue depth; QueueDepth or more effectively disables the cap.
 	PFQCap int
 
+	// PFDecay, when positive, lets the demand-first latch decay: a
+	// channel that admitPrefetch latched into demand-first picking
+	// returns speculative reads to full FR-FCFS standing once PFDecay
+	// cycles pass without another deferral on that channel, so phased
+	// workloads recover speculation after a burst of prefetch pressure.
+	// 0 keeps the historical sticky latch.
+	PFDecay int64
+
+	// Tenants is the number of requestor tags sharing the part (0 or 1
+	// = single requestor; see TagTenant). QoS turns on per-tenant
+	// credit scheduling in each channel: a tenant's reads are capped at
+	// its share of the read queue (QueueDepth/Tenants, at least 1) and
+	// the FR-FCFS pick services the least-loaded tenant first, so one
+	// streaming tenant cannot starve the rest. QoS requires Tenants ≥ 2.
+	Tenants int
+	QoS     bool
+
 	Mapping   Mapping
 	Scheduler Scheduler
 
@@ -194,13 +212,17 @@ type bank struct {
 // out and bandwidth scales with channel count.
 type channel struct {
 	banks       []bank
-	busFree     int64     // data bus: one burst at a time
-	busWrite    bool      // last burst was a write (turnaround tracking)
-	cmdFree     int64     // FCFS: command issue serialization point
-	nextRefresh int64     // next refresh epoch boundary
-	inflight    []int64   // completion times of queued reads
-	pfInflight  []int64   // completion times of queued prefetch reads (PFQCap)
-	demandFirst bool      // speculative pressure seen: pick demands first
+	busFree     int64   // data bus: one burst at a time
+	busWrite    bool    // last burst was a write (turnaround tracking)
+	cmdFree     int64   // FCFS: command issue serialization point
+	nextRefresh int64   // next refresh epoch boundary
+	inflight    []int64 // completion times of queued reads
+	pfInflight  []int64 // completion times of queued prefetch reads (PFQCap)
+	// demandUntil is the demand-first latch: while a pending read's
+	// arrival is below it the pick keeps demands ahead of speculation.
+	// 0 = unlatched; math.MaxInt64 = the sticky latch (PFDecay off).
+	demandUntil int64
+	tenInflight [][]int64 // QoS: completion times of queued reads per tenant
 	writeQ      []Request // posted writes awaiting a threshold drain
 }
 
@@ -217,6 +239,7 @@ type SDRAM struct {
 	chans []channel
 	rp    policy.RowPolicy
 	st    Stats
+	tst   []TenantStats // per-requestor shards (nil = off)
 
 	lineShift, colBits, rowBits, chanBits, bankBits uint
 
@@ -293,6 +316,15 @@ func NewSDRAM(cfg Config) *SDRAM {
 	if cfg.RowPolicy.Kind == policy.Timer && cfg.RowPolicy.Idle <= 0 {
 		panic("dram: timer row policy needs a positive idle gap")
 	}
+	if cfg.PFDecay < 0 {
+		panic("dram: demand-first decay must not be negative")
+	}
+	if cfg.Tenants < 0 {
+		panic("dram: tenant count must not be negative")
+	}
+	if cfg.QoS && cfg.Tenants < 2 {
+		panic("dram: qos scheduling needs at least two tenants")
+	}
 	s := &SDRAM{
 		cfg:       cfg,
 		rp:        cfg.RowPolicy.New(cfg.Channels * cfg.Ranks * cfg.Banks),
@@ -357,6 +389,9 @@ func (s *SDRAM) SetTracer(t *stats.Tracer) { s.tr = t }
 // Reset implements Backend.
 func (s *SDRAM) Reset() {
 	s.st.reset()
+	for i := range s.tst {
+		s.tst[i].reset()
+	}
 	s.rp.Reset()
 	for c := range s.chans {
 		s.chans[c] = channel{
@@ -366,7 +401,34 @@ func (s *SDRAM) Reset() {
 			pfInflight:  make([]int64, 0, s.cfg.QueueDepth),
 			writeQ:      make([]Request, 0, s.cfg.WQDepth),
 		}
+		if s.cfg.QoS {
+			s.chans[c].tenInflight = make([][]int64, s.cfg.Tenants)
+		}
 	}
+}
+
+// EnableTenantStats implements TenantAware: allocate n per-requestor
+// stat shards. Recording into them is pure observation — it never
+// feeds back into scheduling — so enabling shards preserves timing
+// bit-for-bit.
+func (s *SDRAM) EnableTenantStats(n int) {
+	s.tst = make([]TenantStats, n)
+	for i := range s.tst {
+		s.tst[i].init()
+	}
+}
+
+// TenantStatsOf implements TenantAware.
+func (s *SDRAM) TenantStatsOf(i int) *TenantStats { return &s.tst[i] }
+
+// tenantShard maps a request ID to its stat shard (nil when sharding
+// is off; out-of-range tags fold into the allocated shards so a
+// mis-tagged request can never panic the controller).
+func (s *SDRAM) tenantShard(id uint64) *TenantStats {
+	if len(s.tst) == 0 {
+		return nil
+	}
+	return &s.tst[TenantOf(id)%len(s.tst)]
 }
 
 // decode splits addr into channel, bank and row according to the
@@ -524,14 +586,15 @@ func (s *SDRAM) service(ci, bi int, row, arrival int64, write bool) int64 {
 	done := s.burst(c, colIssue+s.cfg.TCAS, write)
 	if s.tr != nil {
 		lane := s.globalBank(ci, bi)
+		ten := TenantOf(s.trID)
 		if colIssue > start {
 			s.tr.Emit(stats.Event{Cycle: start, Dur: colIssue - start, Cat: "dram", Name: "activate",
-				Addr: s.trAddr, ID: s.trID, Lane: lane})
+				Addr: s.trAddr, ID: s.trID, Lane: lane, Tenant: ten})
 		}
 		s.tr.Emit(stats.Event{Cycle: colIssue, Dur: s.cfg.TCAS, Cat: "dram", Name: "column",
-			Addr: s.trAddr, ID: s.trID, Lane: lane})
+			Addr: s.trAddr, ID: s.trID, Lane: lane, Tenant: ten})
 		s.tr.Emit(stats.Event{Cycle: done - s.cfg.TBurst, Dur: s.cfg.TBurst, Cat: "dram", Name: "burst",
-			Addr: s.trAddr, ID: s.trID, Lane: lane})
+			Addr: s.trAddr, ID: s.trID, Lane: lane, Tenant: ten})
 	}
 
 	bk.freeAt = done
@@ -611,9 +674,10 @@ func (s *SDRAM) pfUnderCap(c *channel, t int64) bool {
 // completes (counted in PrefetchDeferred), so speculative traffic can
 // never crowd demand reads out of more than its share of the bounded
 // queue. Crossing the cap also latches the channel into demand-first
-// picking (see scheduleReads): a channel whose speculative stream has
-// once outrun its share keeps demands ahead of it from then on.
-// Demand reads pass through untouched.
+// picking (see scheduleReads): sticky by default, or for PFDecay
+// cycles past the deferral when decay is configured — a channel whose
+// speculative stream stays under its share that long earns its full
+// FR-FCFS standing back. Demand reads pass through untouched.
 func (s *SDRAM) admitPrefetch(c *channel, t0 int64) int64 {
 	live := c.pfInflight[:0]
 	for _, done := range c.pfInflight {
@@ -626,7 +690,13 @@ func (s *SDRAM) admitPrefetch(c *channel, t0 int64) int64 {
 		return t0
 	}
 	s.st.PrefetchDeferred++
-	c.demandFirst = true
+	if s.cfg.PFDecay > 0 {
+		if until := t0 + s.cfg.PFDecay; until > c.demandUntil {
+			c.demandUntil = until
+		}
+	} else {
+		c.demandUntil = math.MaxInt64
+	}
 	for len(c.pfInflight) >= s.cfg.PFQCap {
 		earliest := 0
 		for i := 1; i < len(c.pfInflight); i++ {
@@ -642,15 +712,58 @@ func (s *SDRAM) admitPrefetch(c *channel, t0 int64) int64 {
 	return t0
 }
 
+// qosCredit is the per-tenant share of a channel's read queue under
+// QoS scheduling: an even split, but never below one slot.
+func (s *SDRAM) qosCredit() int {
+	credit := s.cfg.QueueDepth / s.cfg.Tenants
+	if credit < 1 {
+		credit = 1
+	}
+	return credit
+}
+
+// tenLive counts one tenant's reads still in flight on the channel at
+// cycle t — the load figure both the credit gate and the QoS pick key
+// on.
+func tenLive(q []int64, t int64) int {
+	n := 0
+	for _, done := range q {
+		if done > t {
+			n++
+		}
+	}
+	return n
+}
+
+// pruneTenant drops tenant ti's completed reads from its channel
+// in-flight list as of cycle t, keeping tenLive cheap for the pick
+// loop's repeated scans.
+func (s *SDRAM) pruneTenant(c *channel, ti int, t int64) {
+	q := c.tenInflight[ti]
+	live := q[:0]
+	for _, done := range q {
+		if done > t {
+			live = append(live, done)
+		}
+	}
+	c.tenInflight[ti] = live
+}
+
 // serviceRead runs one read through its channel, including queue
-// back-pressure (and the prefetch occupancy cap for speculative
-// reads) and the bank-level-parallelism sample, and returns its
-// completion cycle.
-func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool) int64 {
+// back-pressure (the prefetch occupancy cap for speculative reads)
+// and the bank-level-parallelism sample, and returns its completion
+// cycle. id is the request's opaque tag, consulted only for tenant
+// routing (the per-tenant in-flight bookkeeping the QoS pick keys on).
+func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool, id uint64) int64 {
 	c := &s.chans[ch]
 	req := t0 // the request's own arrival, before any back-pressure
 	if prefetch {
 		t0 = s.admitPrefetch(c, t0)
+	}
+	ti := 0
+	if c.tenInflight != nil {
+		ti = TenantOf(id) % len(c.tenInflight)
+		s.pruneTenant(c, ti, t0)
 	}
 	arrival := s.admitRead(c, t0)
 	s.opportunisticDrain(ch, bi, arrival)
@@ -668,11 +781,22 @@ func (s *SDRAM) serviceRead(ch int, bi int, row int64, t0 int64, prefetch bool) 
 	if prefetch {
 		c.pfInflight = append(c.pfInflight, done)
 	}
+	if c.tenInflight != nil {
+		c.tenInflight[ti] = append(c.tenInflight[ti], done)
+	}
 	s.st.ReadWait.Observe(arrival - req)
 	s.st.ReadService.Observe(done - arrival)
+	if ts := s.tenantShard(id); ts != nil {
+		ts.Reads++
+		ts.Bytes += uint64(s.cfg.LineBytes)
+		if prefetch {
+			ts.PrefetchReads++
+		}
+		ts.ReadLatency.Observe(done - req)
+	}
 	if s.tr != nil {
 		s.tr.Emit(stats.Event{Cycle: done, Cat: "dram", Name: "complete",
-			Addr: s.trAddr, ID: s.trID, Lane: ch})
+			Addr: s.trAddr, ID: s.trID, Lane: ch, Tenant: TenantOf(id)})
 	}
 	s.st.observe(t0, done, s.cfg.LineBytes)
 	return done
@@ -785,6 +909,10 @@ func (s *SDRAM) postWrite(ci int, w Request) int64 {
 	ack := w.At + 1 // posted: the queue accepts it next cycle
 	c.writeQ = append(c.writeQ, w)
 	s.st.Writes++
+	if ts := s.tenantShard(w.ID); ts != nil {
+		ts.Writes++
+		ts.Bytes += uint64(s.cfg.LineBytes)
+	}
 	s.st.observe(w.At, ack, s.cfg.LineBytes)
 	if len(c.writeQ) >= s.cfg.WQDrain {
 		s.drainWrites(ci, ack, s.cfg.WQLow)
@@ -826,15 +954,24 @@ func (s *SDRAM) scheduleReads(ch int, batch []Request, pend []int) {
 	c := &s.chans[ch]
 	for len(pend) > 0 {
 		pick := 0
-		if s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1 {
+		switch {
+		case s.cfg.QoS && s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1:
+			pick = s.qosPick(c, batch, pend)
+		case s.cfg.Scheduler == FRFCFS && s.cfg.ReorderWindow > 1:
 			w := len(pend)
 			if w > s.cfg.ReorderWindow {
 				w = s.cfg.ReorderWindow
 			}
 			// Speculative reads keep full FR-FCFS standing until the
-			// channel's speculative stream first overruns its PFQCap
-			// share (the admitPrefetch deferral latch).
-			classic := !c.demandFirst
+			// channel's speculative stream overruns its PFQCap share
+			// (the admitPrefetch deferral latch), and win it back once
+			// the latch decays: PFDecay quiet cycles with no further
+			// deferral unlatch the channel.
+			if c.demandUntil != 0 && batch[pend[0]].At >= c.demandUntil {
+				c.demandUntil = 0
+				s.st.DemandFirstLapses++
+			}
+			classic := c.demandUntil == 0
 			pick = -1
 			demandHit, demand, pfHit := -1, -1, -1
 			for i := 0; i < w; i++ {
@@ -874,8 +1011,92 @@ func (s *SDRAM) scheduleReads(ch int, batch []Request, pend []int) {
 		if s.tr != nil {
 			s.trAddr, s.trID = batch[i].Addr, batch[i].ID
 		}
-		s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At, batch[i].speculative())
+		s.comps[i].Done = s.serviceRead(ch, d.bk, d.row, batch[i].At, batch[i].speculative(), batch[i].ID)
 	}
+}
+
+// qosPick is the tenant-aware window pick, a pure reordering of the
+// classic FR-FCFS service — it never delays a picked request, so the
+// channel stays work-conserving. The key, most significant first:
+//
+//   - credit: a read whose tenant already holds its full queue share
+//     in flight (see qosCredit) yields to any under-share candidate,
+//     so a flooding tenant cannot monopolize the part while a sparse
+//     tenant has work waiting. Each yield counts as a QoSDeferred
+//     scheduling turn against the heavy tenant.
+//   - demand beats speculation; over-cap speculative reads wait unless
+//     the window holds nothing else (mirroring the demand-first pick).
+//   - readiness: the request whose data will be ready soonest goes
+//     first, estimated as bank-free time plus the row overhead the
+//     access would pay. This matters under multi-tenant interleaving:
+//     lockstep requestors at the same kernel position hit the SAME
+//     bank with different rows, and serving those conflicts
+//     back-to-back in arrival order reserves the channel bus for data
+//     that is not ready while other banks sit idle. Picking ready
+//     banks first overlaps the conflict streaks instead.
+//   - tenant load (fewest reads in flight), then arrival order, break
+//     the remaining ties.
+func (s *SDRAM) qosPick(c *channel, batch []Request, pend []int) int {
+	w := len(pend)
+	if w > s.cfg.ReorderWindow {
+		w = s.cfg.ReorderWindow
+	}
+	credit := s.qosCredit()
+	pick, bestOver, bestSpec, bestLoad := -1, 0, 0, 0
+	var bestReady int64
+	for i := 0; i < w; i++ {
+		r := batch[pend[i]]
+		spec := 0
+		if r.speculative() {
+			if !s.pfUnderCap(c, r.At) {
+				continue
+			}
+			spec = 1
+		}
+		load := 0
+		if c.tenInflight != nil {
+			load = tenLive(c.tenInflight[TenantOf(r.ID)%len(c.tenInflight)], r.At)
+		}
+		over := 0
+		if load >= credit {
+			over = 1
+		}
+		d := s.dec[pend[i]]
+		bk := &c.banks[d.bk]
+		start := r.At
+		if bk.freeAt > start {
+			start = bk.freeAt
+		}
+		ready := start + s.peekRowLatency(bk, d.row, start)
+		if pick < 0 || over < bestOver || (over == bestOver && (spec < bestSpec ||
+			(spec == bestSpec && (ready < bestReady || (ready == bestReady && load < bestLoad))))) {
+			pick, bestOver, bestSpec, bestReady, bestLoad = i, over, spec, ready, load
+		}
+	}
+	if pick < 0 {
+		return 0
+	}
+	// Account the yields: every over-share read that arrived before the
+	// winner gave up this scheduling turn to it.
+	if bestOver == 0 {
+		for i := 0; i < pick; i++ {
+			r := batch[pend[i]]
+			if r.speculative() && !s.pfUnderCap(c, r.At) {
+				continue
+			}
+			if c.tenInflight == nil {
+				continue
+			}
+			ti := TenantOf(r.ID) % len(c.tenInflight)
+			if tenLive(c.tenInflight[ti], r.At) >= credit {
+				s.st.QoSDeferred++
+				if ts := s.tenantShard(r.ID); ts != nil {
+					ts.QoSDeferred++
+				}
+			}
+		}
+	}
+	return pick
 }
 
 // Submit implements Backend. The batch fans out across channels; each
@@ -908,7 +1129,8 @@ func (s *SDRAM) Submit(batch []Request) []Completion {
 		s.dec = append(s.dec, decoded{ch: ch, bk: bk, row: row})
 		s.comps[i] = Completion{Addr: r.Addr, Write: r.Write, At: r.At, Channel: ch, ID: r.ID}
 		if s.tr != nil {
-			s.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue", Addr: r.Addr, ID: r.ID, Lane: ch})
+			s.tr.Emit(stats.Event{Cycle: r.At, Cat: "dram", Name: "issue",
+				Addr: r.Addr, ID: r.ID, Lane: ch, Tenant: TenantOf(r.ID)})
 		}
 		switch {
 		case r.Write:

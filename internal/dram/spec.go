@@ -94,6 +94,21 @@ type Knobs struct {
 	// lazily-submitted MSHR batch.
 	PFStreams int
 	PFDegree  int
+
+	// PFDecay (-pfdecay / "pfdec<n>") lets the demand-first latch decay
+	// after that many deferral-free cycles (Config.PFDecay); 0 keeps
+	// the sticky latch. It needs a prefetcher to matter, so like pfq it
+	// requires PFStreams > 0.
+	PFDecay int
+
+	// Tenants (-tenants / "tn<n>") is the requestor count of a
+	// multi-tenant run. Like MSHRs it mostly configures layers above
+	// the controller (the tenant front end), so it is legal on every
+	// kind; on sdram it additionally sizes the QoS credit scheduler.
+	// QoS (-qos / "qos") turns on per-tenant credit scheduling in the
+	// sdram controller and requires Tenants >= 2.
+	Tenants int
+	QoS     bool
 }
 
 func (k Knobs) apply(cfg Config) Config {
@@ -138,6 +153,15 @@ func (k Knobs) apply(cfg Config) Config {
 	if k.PFQ > 0 {
 		cfg.PFQCap = k.PFQ
 	}
+	if k.PFDecay > 0 {
+		cfg.PFDecay = int64(k.PFDecay)
+	}
+	if k.Tenants > 0 {
+		cfg.Tenants = k.Tenants
+	}
+	if k.QoS {
+		cfg.QoS = true
+	}
 	return cfg
 }
 
@@ -176,15 +200,22 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 	}
 	if knobs.Channels < 0 || knobs.WQDrain < 0 || knobs.Window < 0 ||
 		knobs.WQLow < -1 || knobs.WQIdle < -1 || knobs.MSHRs < 0 ||
-		knobs.PFStreams < 0 || knobs.PFDegree < 0 || knobs.PFQ < 0 {
-		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d, pf %d, pfd %d, pfq %d; wq low/idle -1 = explicitly off)",
-			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs, knobs.PFStreams, knobs.PFDegree, knobs.PFQ)
+		knobs.PFStreams < 0 || knobs.PFDegree < 0 || knobs.PFQ < 0 ||
+		knobs.PFDecay < 0 || knobs.Tenants < 0 {
+		return nil, fmt.Errorf("controller knobs must be positive (channels %d, wq drain %d, window %d, wq low %d, wq idle %d, mshrs %d, pf %d, pfd %d, pfq %d, pfdec %d, tn %d; wq low/idle -1 = explicitly off)",
+			knobs.Channels, knobs.WQDrain, knobs.Window, knobs.WQLow, knobs.WQIdle, knobs.MSHRs, knobs.PFStreams, knobs.PFDegree, knobs.PFQ, knobs.PFDecay, knobs.Tenants)
 	}
 	if knobs.PFDegree > 0 && knobs.PFStreams == 0 {
 		return nil, fmt.Errorf("prefetch degree %d needs a stream count (-pf / pf<n>)", knobs.PFDegree)
 	}
 	if knobs.PFQ > 0 && knobs.PFStreams == 0 {
 		return nil, fmt.Errorf("prefetch queue cap %d needs a stream count (-pf / pf<n>)", knobs.PFQ)
+	}
+	if knobs.PFDecay > 0 && knobs.PFStreams == 0 {
+		return nil, fmt.Errorf("demand-first decay %d governs prefetch scheduling and needs a stream count (-pf / pf<n>)", knobs.PFDecay)
+	}
+	if knobs.QoS && knobs.Tenants < 2 {
+		return nil, fmt.Errorf("qos scheduling partitions the channel between requestors and needs a tenant count of at least 2 (-tenants / tn<n>)")
 	}
 	if knobs.PFStreams > 0 && knobs.MSHRs < 2 {
 		return nil, fmt.Errorf("the stream prefetcher rides the MSHR batch: pf %d needs a non-blocking MSHR file (mshr >= 2, have %d)",
@@ -217,7 +248,7 @@ func BuildOpts(kind, mapping, sched, prof string, knobs Knobs, fixedLatency int6
 func ValidateFlagCombo(kind string, sdramKnobSet, mlatSet bool) error {
 	kind = strings.ToLower(kind)
 	if sdramKnobSet && kind != "sdram" {
-		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin/-rp/-pfq require -dram sdram")
+		return fmt.Errorf("-dmap/-dsched/-dprof/-dchan/-dwq/-dwql/-dwqi/-dwin/-rp/-pfq/-pfdecay/-qos require -dram sdram")
 	}
 	if mlatSet && kind == "sdram" {
 		return fmt.Errorf("-mlat applies to the fixed backend only; drop it with -dram sdram")
@@ -235,10 +266,10 @@ func FormatSpec(kind, mapping, sched string) string {
 
 // FormatSpecOpts renders the full
 // "sdram/<mapping>/<sched>[/<profile>][/<n>ch][/wq<n>][/wql<n>]
-// [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/mshr<n>][/pf<n>d<m>]"
-// form; zero-valued knobs and an empty profile are omitted. The mshr
-// and pf knobs survive on the fixed kind too — they configure the vmem
-// layer, not the controller.
+// [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/pfdec<n>][/qos]
+// [/mshr<n>][/pf<n>d<m>][/tn<n>]" form; zero-valued knobs and an empty
+// profile are omitted. The mshr, pf and tn knobs survive on the fixed
+// kind too — they configure layers above the controller.
 func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	kind = strings.ToLower(kind)
 	s := kind
@@ -272,6 +303,12 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 		if knobs.PFQ > 0 {
 			s += fmt.Sprintf("/pfq%d", knobs.PFQ)
 		}
+		if knobs.PFDecay > 0 {
+			s += fmt.Sprintf("/pfdec%d", knobs.PFDecay)
+		}
+		if knobs.QoS {
+			s += "/qos"
+		}
 	}
 	if knobs.MSHRs > 0 {
 		s += fmt.Sprintf("/mshr%d", knobs.MSHRs)
@@ -283,13 +320,17 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 			s += fmt.Sprintf("/pf%d", knobs.PFStreams)
 		}
 	}
+	if knobs.Tenants > 0 {
+		s += fmt.Sprintf("/tn%d", knobs.Tenants)
+	}
 	return s
 }
 
 // parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
-// "wql<n>", "wqi<n>", "win<n>", "rp<name>[:<n>]", "pfq<n>", "mshr<n>",
-// "pf<n>" and "pf<n>d<m>". Longer prefixes are tried first so "wql2"
-// never half-matches "wq" and "pfq8" never half-matches "pf".
+// "wql<n>", "wqi<n>", "win<n>", "rp<name>[:<n>]", "pfq<n>", "pfdec<n>",
+// "qos", "mshr<n>", "tn<n>", "pf<n>" and "pf<n>d<m>". Longer prefixes
+// are tried first so "wql2" never half-matches "wq" and "pfq8"/"pfdec50"
+// never half-match "pf".
 func parseKnob(tok string, k *Knobs) bool {
 	if n, ok := strings.CutSuffix(tok, "ch"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v > 0 {
@@ -306,9 +347,20 @@ func parseKnob(tok string, k *Knobs) bool {
 		k.RP = sp
 		return true
 	}
+	if tok == "qos" {
+		k.QoS = true
+		return true
+	}
 	if n, ok := strings.CutPrefix(tok, "pfq"); ok {
 		if v, err := strconv.Atoi(n); err == nil && v > 0 {
 			k.PFQ = v
+			return true
+		}
+		return false
+	}
+	if n, ok := strings.CutPrefix(tok, "pfdec"); ok {
+		if v, err := strconv.Atoi(n); err == nil && v > 0 {
+			k.PFDecay = v
 			return true
 		}
 		return false
@@ -342,6 +394,7 @@ func parseKnob(tok string, k *Knobs) bool {
 		zeroOK bool // "<prefix>0" is an explicit off (stored as -1)
 	}{
 		{"mshr", func(v int) { k.MSHRs = v }, false},
+		{"tn", func(v int) { k.Tenants = v }, false},
 		{"wql", func(v int) { k.WQLow = v }, true},
 		{"wqi", func(v int) { k.WQIdle = int64(v) }, true},
 		{"wq", func(v int) { k.WQDrain = v }, false},
@@ -372,10 +425,10 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 
 // ParseSpecFull builds a backend from a spec string:
 //
-//	fixed[/mshr<n>][/pf<n>[d<m>]]
+//	fixed[/mshr<n>][/pf<n>[d<m>]][/tn<n>]
 //	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/wql<n>]
-//	     [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/mshr<n>]
-//	     [/pf<n>[d<m>]]
+//	     [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/pfdec<n>]
+//	     [/qos][/mshr<n>][/pf<n>[d<m>]][/tn<n>]
 //
 // Omitted sdram fields default to line/frfcfs/ddr; knob segments may
 // appear anywhere after the kind. Every segment must parse: an
@@ -411,7 +464,7 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		}
 		if err != nil {
 			return nil, Knobs{}, fmt.Errorf(
-				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> rp<open|close|timer[:<n>]|history> pfq<n> mshr<n> pf<n>[d<m>])",
+				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> rp<open|close|timer[:<n>]|history> pfq<n> pfdec<n> qos mshr<n> pf<n>[d<m>] tn<n>)",
 				tok, spec)
 		}
 		pos++
@@ -420,10 +473,10 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		// Everything but the vmem-level mshr and pf knobs configures
 		// the banked controller and would be dead weight on other kinds.
 		ctrl := knobs
-		ctrl.MSHRs, ctrl.PFStreams, ctrl.PFDegree = 0, 0, 0
+		ctrl.MSHRs, ctrl.PFStreams, ctrl.PFDegree, ctrl.Tenants = 0, 0, 0, 0
 		if pos > 0 || ctrl != (Knobs{}) {
 			return nil, Knobs{}, fmt.Errorf(
-				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n> and pf<n>[d<m>] are allowed anywhere)", spec)
+				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n>, pf<n>[d<m>] and tn<n> are allowed anywhere)", spec)
 		}
 	}
 	if kind == "sdram" {

@@ -70,3 +70,63 @@ func TestSpecMSHRKnob(t *testing.T) {
 		t.Fatal("fixed kind must keep the mshr segment")
 	}
 }
+
+// TestSpecTenantKnobs: tn<n> is a front-end knob like mshr — allowed on
+// every kind — while qos and pfdec<n> configure the SDRAM controller
+// and carry their own preconditions (qos needs tn≥2, pfdec needs pf).
+func TestSpecTenantKnobs(t *testing.T) {
+	// tn parses anywhere.
+	for _, spec := range []string{"fixed/tn2", "sdram/tn4", "sdram/line/frfcfs/tn4"} {
+		if _, knobs, err := ParseSpecFull(spec, 100); err != nil {
+			t.Errorf("ParseSpecFull(%q): %v", spec, err)
+		} else if knobs.Tenants < 2 {
+			t.Errorf("ParseSpecFull(%q): Tenants = %d", spec, knobs.Tenants)
+		}
+	}
+
+	// The full multi-tenant spec lands in the controller config.
+	b, knobs, err := ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/pfdec200/tn4/qos", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := b.(*SDRAM).Config()
+	if !cfg.QoS || cfg.Tenants != 4 || cfg.PFDecay != 200 {
+		t.Errorf("cfg QoS=%v Tenants=%d PFDecay=%d, want true/4/200", cfg.QoS, cfg.Tenants, cfg.PFDecay)
+	}
+	if knobs.Tenants != 4 || !knobs.QoS || knobs.PFDecay != 200 {
+		t.Errorf("knobs = %+v, want Tenants 4, QoS, PFDecay 200", knobs)
+	}
+
+	// FormatSpecOpts round-trips the new segments.
+	spec := FormatSpecOpts("sdram", "line", "frfcfs", "",
+		Knobs{MSHRs: 8, PFStreams: 4, PFDecay: 200, Tenants: 4, QoS: true})
+	if want := "sdram/line/frfcfs/pfdec200/qos/mshr8/pf4/tn4"; spec != want {
+		t.Fatalf("FormatSpecOpts = %q, want %q", spec, want)
+	}
+	if _, k2, err := ParseSpecFull(spec, 100); err != nil {
+		t.Fatalf("round trip: %v", err)
+	} else if k2 != knobs {
+		t.Fatalf("round trip lost knobs: %+v vs %+v", k2, knobs)
+	}
+
+	// Preconditions and kind restrictions reject with diagnosable errors.
+	rejects := []struct {
+		spec string
+		want string
+	}{
+		{"sdram/line/frfcfs/qos", "tenant count"},        // qos without tn
+		{"sdram/line/frfcfs/tn1/qos", "at least 2"},      // qos on one tenant
+		{"sdram/line/frfcfs/pfdec200", "stream count"},   // pfdec without pf
+		{"fixed/qos", "sdram"},                           // controller token on fixed
+		{"fixed/pfdec100", "sdram"},                      // ditto
+		{"sdram/line/frfcfs/tn0", "tn0"},                 // malformed value
+		{"sdram/line/frfcfs/mshr8/pf4/pfdec0", "pfdec0"}, // ditto
+	}
+	for _, c := range rejects {
+		if _, _, err := ParseSpecFull(c.spec, 100); err == nil {
+			t.Errorf("ParseSpecFull(%q) accepted an invalid spec", c.spec)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpecFull(%q) error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}

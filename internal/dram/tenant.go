@@ -1,0 +1,62 @@
+package dram
+
+import "repro/internal/stats"
+
+// Tenant tags ride the opaque Request.ID path: the MSHR file stamps the
+// requestor index into the top byte of every ID it hands the backend,
+// so the tag survives scheduling, reordering and completion routing
+// without widening any interface. The low 56 bits remain the caller's
+// entry identity — far beyond any MSHR counter this simulator reaches —
+// and tenant 0 tags to the identity, keeping the single-requestor path
+// bit-identical.
+const TenantShift = 56
+
+// TagTenant stamps a requestor index into an opaque request ID.
+func TagTenant(id uint64, tenant int) uint64 {
+	return id | uint64(tenant)<<TenantShift
+}
+
+// TenantOf recovers the requestor index from a tagged ID (0 for
+// untagged single-requestor traffic).
+func TenantOf(id uint64) int {
+	return int(id >> TenantShift)
+}
+
+// TenantStats is one requestor's shard of the backend's activity:
+// traffic volume, bandwidth and the full read-latency distribution
+// (arrival to data completion, so queue back-pressure and QoS deferral
+// are included). Shards are pure observation — recording them never
+// changes any timing decision.
+type TenantStats struct {
+	Reads         uint64
+	Writes        uint64 // posted writes absorbed by the write queues
+	Bytes         uint64 // bytes transferred for this tenant
+	PrefetchReads uint64 // reads the prefetcher injected on this tenant's behalf
+	QoSDeferred   uint64 // scheduling turns this tenant's reads yielded at its credit
+
+	// ReadLatency is the tenant's end-to-end read-latency histogram
+	// (request arrival to burst completion) — the per-tenant view of
+	// the shared part's ReadWait+ReadService.
+	ReadLatency *stats.Histogram
+}
+
+func (t *TenantStats) init() {
+	if t.ReadLatency == nil {
+		t.ReadLatency = stats.NewHistogram()
+	}
+}
+
+func (t *TenantStats) reset() {
+	h := t.ReadLatency
+	*t = TenantStats{}
+	h.Reset()
+	t.ReadLatency = h
+}
+
+// TenantAware is implemented by backends that can shard statistics per
+// requestor tag. EnableTenantStats allocates n shards (indexed by
+// TenantOf of each request's ID); TenantStatsOf exposes shard i.
+type TenantAware interface {
+	EnableTenantStats(n int)
+	TenantStatsOf(i int) *TenantStats
+}

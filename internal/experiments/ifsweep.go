@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/tenant"
+	"repro/internal/vmem"
+)
+
+// IFMixes are the tenant mixes the interference sweep runs: the
+// symmetric four-way motionsearch storm (the bandwidth-saturation
+// case), the latency-vs-streaming pairing of the issue — gsmencode's
+// sparse row-friendly stream sharing the part with motionsearch's
+// conflict-heavy one — and the four-way version of the same pairing
+// where three streaming tenants crowd the sparse one.
+var IFMixes = [][]string{
+	{"motionsearch", "motionsearch", "motionsearch", "motionsearch"},
+	{"motionsearch", "gsmencode"},
+	{"motionsearch", "motionsearch", "motionsearch", "gsmencode"},
+}
+
+// ifBaseSpec is the shared-backend configuration the sweep contends
+// on: the banked commodity-DDR part under demand FR-FCFS. The
+// blocking pipeline keeps each tenant's in-flight demand small, so
+// the interference measured is the controller's, not the MSHR file's.
+const ifBaseSpec = "sdram/line/frfcfs"
+
+// ifSpec composes the multi-tenant backend spec for one mix size.
+func ifSpec(tenants int, qos bool) string {
+	s := fmt.Sprintf("%s/tn%d", ifBaseSpec, tenants)
+	if qos {
+		s += "/qos"
+	}
+	return s
+}
+
+// TenantResult is the outcome of one multi-tenant simulation.
+type TenantResult struct {
+	Mix    []string // tenant i ran Mix[i]
+	Cycles []int64  // tenant i's execution time
+	Shards []dram.TenantStats
+	DRAM   dram.Stats
+}
+
+// SimTenants runs one multi-tenant simulation: mix[i] is tenant i's
+// benchmark, all on the MOM+3D vector-cache configuration, through the
+// shared backend the spec describes (which must carry a tn<len(mix)>
+// token so the controller shards its stats and, with /qos, schedules
+// per tenant).
+func (r *Runner) SimTenants(mix []string, l2lat int64, spec string) *TenantResult {
+	if r.Progress != nil {
+		r.Progress(SimKey{Bench: strings.Join(mix, "+"), Variant: mom3DVariant,
+			Mem: mom3DVCKind, L2Lat: l2lat, DRAM: spec})
+	}
+	backend, knobs, err := buildBackend(spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	if knobs.Tenants != len(mix) {
+		panic(fmt.Sprintf("experiments: spec %q carries tn%d for a %d-tenant mix", spec, knobs.Tenants, len(mix)))
+	}
+	// Collect every tenant's trace first: traceFor caches one benchmark
+	// at a time, but the returned instruction slices stay valid.
+	traces := make([][]isa.Inst, len(mix))
+	for i, bench := range mix {
+		traces[i] = r.traceFor(bench, mom3DVariant).tr.Insts
+	}
+	cfg := coreConfigFor(mom3DVariant)
+	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	g := tenant.New(tenant.Options{Core: cfg, Kind: mom3DVCKind, Tim: tim,
+		Lanes: cfg.Lanes, Traces: traces})
+	g.Run()
+	res := &TenantResult{Mix: mix, Cycles: make([]int64, g.N())}
+	for i := 0; i < g.N(); i++ {
+		res.Cycles[i] = g.Stats(i).Cycles
+		if ts := g.TenantStatsOf(i); ts != nil {
+			res.Shards = append(res.Shards, *ts)
+		}
+	}
+	if sd, ok := backend.(*dram.SDRAM); ok {
+		sd.Flush()
+	}
+	res.DRAM = *backend.Stats()
+	return res
+}
+
+// IFSweepRow compares one tenant mix with and without QoS scheduling
+// against each tenant's solo run on the same backend configuration.
+type IFSweepRow struct {
+	Mix   []string
+	Solo  []int64 // tenant i's cycles alone on a private part
+	Base  *TenantResult
+	QoS   *TenantResult
+	Defer uint64 // scheduling turns yielded under QoS
+}
+
+// Slowdowns is cycles-under-contention over cycles-solo per tenant.
+func slowdowns(contended, solo []int64) []float64 {
+	out := make([]float64, len(contended))
+	for i := range contended {
+		out[i] = float64(contended[i]) / float64(solo[i])
+	}
+	return out
+}
+
+// maxOf returns the largest slowdown — the worst tenant's experience,
+// the figure QoS exists to bound.
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// jain is Jain's fairness index over per-tenant slowdowns: 1 when every
+// tenant suffers equally, approaching 1/n as one tenant absorbs all the
+// interference.
+func jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// IFSweep runs the interference sweep: every mix solo, shared without
+// QoS, and shared with QoS on the same banked backend. The experiment
+// behind the multi-tenant subsystem: the shared part must slow every
+// tenant (no free lunch), and QoS must pull the worst tenant's
+// slowdown below the plain FR-FCFS baseline — by yielding over-share
+// scheduling turns and picking ready banks first — without giving the
+// bandwidth back.
+func IFSweep(r *Runner) []IFSweepRow {
+	var rows []IFSweepRow
+	for _, mix := range IFMixes {
+		row := IFSweepRow{Mix: mix, Solo: make([]int64, len(mix))}
+		for i, bench := range mix {
+			row.Solo[i] = r.SimDRAM(bench, mom3DVariant, mom3DVCKind, baseLat, ifBaseSpec).Cycles()
+		}
+		row.Base = r.SimTenants(mix, baseLat, ifSpec(len(mix), false))
+		row.QoS = r.SimTenants(mix, baseLat, ifSpec(len(mix), true))
+		row.Defer = row.QoS.DRAM.QoSDeferred
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// mixLabel compresses a tenant mix into "3x motionsearch + gsmencode"
+// form, run-length encoding adjacent repeats.
+func mixLabel(mix []string) string {
+	var parts []string
+	for i := 0; i < len(mix); {
+		j := i
+		for j < len(mix) && mix[j] == mix[i] {
+			j++
+		}
+		if j-i > 1 {
+			parts = append(parts, fmt.Sprintf("%dx %s", j-i, mix[i]))
+		} else {
+			parts = append(parts, mix[i])
+		}
+		i = j
+	}
+	return strings.Join(parts, " + ")
+}
+
+// RenderIFSweep formats the sweep as a fixed-width text table.
+func RenderIFSweep(rows []IFSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interference sweep — tenant mixes on one shared part, FR-FCFS vs QoS credit scheduling (MOM+3D, vector cache + 3D, %s/tn<m>[/qos])\n", ifBaseSpec)
+	fmt.Fprintf(&b, "%-38s %-24s %6s %6s %6s %6s\n",
+		"mix", "tenant slowdowns vs solo", "max", "jain", "B/cyc", "defer")
+	for _, r := range rows {
+		for pass, tr := range []*TenantResult{r.Base, r.QoS} {
+			name := mixLabel(r.Mix)
+			label := name + " (frfcfs)"
+			if pass == 1 {
+				label = name + " (qos)"
+			}
+			sl := slowdowns(tr.Cycles, r.Solo)
+			var cells []string
+			for _, s := range sl {
+				cells = append(cells, fmt.Sprintf("%.2f", s))
+			}
+			def := uint64(0)
+			if pass == 1 {
+				def = r.Defer
+			}
+			fmt.Fprintf(&b, "%-38s %-24s %6.3f %6.3f %6.2f %6d\n",
+				label, strings.Join(cells, " "), maxOf(sl), jain(sl), tr.DRAM.AchievedBandwidth(), def)
+		}
+	}
+	b.WriteString("slowdown = shared-part cycles / solo cycles on the same backend; max is the worst\n")
+	b.WriteString("tenant (the QoS target), jain is Jain's fairness index over the slowdowns, defer\n")
+	b.WriteString("counts scheduling turns over-share tenants yielded. QoS must beat the frfcfs max\n")
+	b.WriteString("in every mix while holding bandwidth; tenants are address-disjoint, so slowdowns\n")
+	b.WriteString("measure pure controller and bus contention.\n")
+	return b.String()
+}

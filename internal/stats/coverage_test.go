@@ -17,7 +17,11 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/kernels"
 	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/trace"
 	"repro/internal/vmem"
 )
 
@@ -97,6 +101,104 @@ func TestRegistryCoversMemSystemExtras(t *testing.T) {
 	for _, name := range []string{"vmem.scalar_l2_accesses"} {
 		if !snap.Has(name) {
 			t.Errorf("hand-registered name %q missing", name)
+		}
+	}
+}
+
+// loadedTenantSystem is loadedSystem's multi-requestor sibling: a
+// 2-tenant group on the fully-loaded shared backend with QoS on, run to
+// completion and registered.
+func loadedTenantSystem(t *testing.T) *stats.Registry {
+	t.Helper()
+	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/tn2/qos", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	cfg := core.MOMCore()
+	tr := &trace.Trace{}
+	kernels.GSMEncode(kernels.SmallGSMEncConfig()).Run(kernels.MOM3D, tr)
+	g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D,
+		Tim: tim, Lanes: cfg.Lanes, Traces: [][]isa.Inst{tr.Insts, tr.Insts}})
+	g.Run()
+	reg := stats.NewRegistry()
+	g.Register(reg)
+	return reg
+}
+
+// TestRegistryCoversTenantShards extends the coverage walk to the
+// multi-tenant registration seam: the shared structures keep their
+// classic names, every tenant's private shards appear under
+// tenant.<i>.*, and every exported field of the backend's per-tenant
+// shard is registered — so a counter added to dram.TenantStats cannot
+// ship invisible to -statsjson.
+func TestRegistryCoversTenantShards(t *testing.T) {
+	snap := loadedTenantSystem(t).Snapshot()
+
+	cases := []struct {
+		prefix string
+		typ    reflect.Type
+	}{
+		// Shared structures under the single-requestor names.
+		{"cache.l2", reflect.TypeOf(cache.Stats{})},
+		{"vmem.mshr", reflect.TypeOf(vmem.MSHRStats{})},
+		{"vmem.prefetch", reflect.TypeOf(vmem.PrefetchStats{})},
+		{"dram", reflect.TypeOf(dram.Stats{})},
+		// Per-tenant shards for both tenants.
+		{"tenant.0.core", reflect.TypeOf(core.Stats{})},
+		{"tenant.0.cache.l1", reflect.TypeOf(cache.Stats{})},
+		{"tenant.0.vmem", reflect.TypeOf(vmem.Stats{})},
+		{"tenant.0.dram", reflect.TypeOf(dram.TenantStats{})},
+		{"tenant.1.core", reflect.TypeOf(core.Stats{})},
+		{"tenant.1.cache.l1", reflect.TypeOf(cache.Stats{})},
+		{"tenant.1.vmem", reflect.TypeOf(vmem.Stats{})},
+		{"tenant.1.dram", reflect.TypeOf(dram.TenantStats{})},
+	}
+	histType := reflect.TypeOf((*stats.Histogram)(nil))
+	for _, c := range cases {
+		for i := 0; i < c.typ.NumField(); i++ {
+			f := c.typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := c.prefix + "." + stats.SnakeCase(f.Name)
+			switch {
+			case f.Type.Kind() == reflect.Array:
+				for j := 0; j < f.Type.Len(); j++ {
+					if idx := fmt.Sprintf("%s.%d", name, j); !snap.Has(idx) {
+						t.Errorf("%s.%s: indexed counter %q unregistered", c.typ, f.Name, idx)
+					}
+				}
+			case f.Type == histType:
+				if _, ok := snap.Hists[name]; !ok {
+					t.Errorf("%s.%s: histogram %q unregistered", c.typ, f.Name, name)
+				}
+			default:
+				if !snap.Has(name) {
+					t.Errorf("%s.%s: %q unregistered — wire it into Group.Register",
+						c.typ, f.Name, name)
+				}
+			}
+		}
+	}
+	for _, name := range []string{
+		"tenant.0.vmem.scalar_l2_accesses",
+		"tenant.1.vmem.scalar_l2_accesses",
+	} {
+		if !snap.Has(name) {
+			t.Errorf("hand-registered name %q missing", name)
+		}
+	}
+	// The per-tenant read-latency histograms must actually carry samples
+	// — both tenants filed misses through the shared backend.
+	for _, name := range []string{"tenant.0.dram.read_latency", "tenant.1.dram.read_latency"} {
+		h, ok := snap.Hists[name]
+		if !ok {
+			t.Fatalf("histogram %q unregistered", name)
+		}
+		if h.Count == 0 {
+			t.Errorf("histogram %q registered but empty after a 2-tenant run", name)
 		}
 	}
 }

@@ -16,13 +16,14 @@ const DefaultTraceEvents = 1 << 20
 // Chrome instant event ("ph":"i"), Dur > 0 as a complete event
 // ("ph":"X") spanning [Cycle, Cycle+Dur).
 type Event struct {
-	Cycle int64  // start cycle
-	Dur   int64  // duration in cycles; 0 = instant
-	Cat   string // subsystem category: "dram", "mshr", "pf", ...
-	Name  string // event name: "activate", "merge", "fire", ...
-	Addr  uint64 // memory address, 0 if not applicable
-	ID    uint64 // request/entry identity, 0 if not applicable
-	Lane  int    // renders as the Chrome tid: channel, bank, stream...
+	Cycle  int64  // start cycle
+	Dur    int64  // duration in cycles; 0 = instant
+	Cat    string // subsystem category: "dram", "mshr", "pf", ...
+	Name   string // event name: "activate", "merge", "fire", ...
+	Addr   uint64 // memory address, 0 if not applicable
+	ID     uint64 // request/entry identity, 0 if not applicable
+	Lane   int    // renders as the Chrome tid: channel, bank, stream...
+	Tenant int    // requestor index; renders as the Chrome pid (Tenant+1)
 }
 
 // Tracer is a ring buffer of cycle-stamped events. A nil *Tracer is
@@ -140,11 +141,15 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 		}
 	}
 	for _, e := range evs {
+		// Tenants separate as Chrome processes: pid 1 is tenant 0 (and
+		// all single-requestor traffic), pid i+1 is tenant i, so a
+		// multi-tenant trace groups each requestor's DRAM/MSHR/prefetch
+		// lanes under its own process row.
 		ce := chromeEvent{
 			Name: e.Name,
 			Cat:  e.Cat,
 			TS:   e.Cycle,
-			PID:  1,
+			PID:  e.Tenant + 1,
 			TID:  e.Lane,
 		}
 		if e.Dur > 0 {

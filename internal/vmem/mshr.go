@@ -126,6 +126,13 @@ type MSHRFile struct {
 	span     int // instructions contributing to the pending batch
 	flushGen int // flush generation, for span tracking across mid-instruction flushes
 
+	// tenant is the requestor tag of the RegisterFor call in progress:
+	// every entry ID and write-back the call files carries it in the
+	// ID's top byte (dram.TagTenant), so a shared backend can route
+	// per-tenant accounting and QoS off the opaque ID path. 0 between
+	// calls and for single-requestor use — the identity tag.
+	tenant int
+
 	// pf/l2 attach the stream prefetcher (AttachPrefetcher): pf turns
 	// the demand miss stream into predicted lines, and the file fills
 	// them into l2 and injects them into the pending batch. Both nil
@@ -182,7 +189,7 @@ func (f *MSHRFile) resolve(e *mshrEntry, done int64) {
 	f.st.Fill.Observe(done - e.at)
 	if f.tr != nil {
 		f.tr.Emit(stats.Event{Cycle: e.at, Dur: done - e.at, Cat: "mshr", Name: "fill",
-			Addr: e.line, ID: e.id})
+			Addr: e.line, ID: e.id, Tenant: dram.TenantOf(e.id)})
 	}
 	f.classifyPrefetch(e)
 }
@@ -318,13 +325,13 @@ func (f *MSHRFile) allocate(addr uint64, at int64) (*mshrEntry, int64) {
 			f.free(at)
 		}
 	}
-	e := &mshrEntry{line: addr &^ f.lineMask, id: f.nextID, at: at}
+	e := &mshrEntry{line: addr &^ f.lineMask, id: dram.TagTenant(f.nextID, f.tenant), at: at}
 	f.nextID++
 	f.entries = append(f.entries, e)
 	f.byLine[e.line] = e
 	f.st.Allocs++
 	if f.tr != nil {
-		f.tr.Emit(stats.Event{Cycle: at, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id})
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id, Tenant: f.tenant})
 	}
 	occ := f.Outstanding() // already counts the just-appended entry
 	f.st.OccSum += uint64(occ)
@@ -363,6 +370,15 @@ type PFTouch struct {
 // after the demands, so a prefetch can never steal an MSHR from the
 // instruction that triggered it.
 func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int64) *Pending {
+	return f.RegisterFor(0, batch, pfTouch, occDone)
+}
+
+// RegisterFor is Register for a tagged requestor: every entry and
+// write-back the call files carries tenant in its ID's top byte, so
+// the backend can shard stats and schedule per tenant. Tenant 0 is
+// Register exactly.
+func (f *MSHRFile) RegisterFor(tenant int, batch []dram.Request, pfTouch []PFTouch, occDone int64) *Pending {
+	f.tenant = tenant
 	p := &Pending{file: f, base: occDone}
 	if f.blocking {
 		// Blocking mode files the whole instruction atomically, submits
@@ -371,16 +387,16 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 		// blocking model's.
 		for _, r := range batch {
 			if r.Write {
-				r.ID = 0
+				r.ID = dram.TagTenant(0, f.tenant)
 				f.pending = append(f.pending, r)
 				f.st.Writebacks++
 				continue
 			}
-			e := &mshrEntry{line: r.Addr &^ f.lineMask, id: f.nextID, at: r.At}
+			e := &mshrEntry{line: r.Addr &^ f.lineMask, id: dram.TagTenant(f.nextID, f.tenant), at: r.At}
 			f.nextID++
 			f.st.Allocs++
 			if f.tr != nil {
-				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id})
+				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id, Tenant: f.tenant})
 			}
 			r.ID = e.id
 			f.pending = append(f.pending, r)
@@ -407,7 +423,7 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 	f.trainBuf = f.trainBuf[:0]
 	for _, r := range batch {
 		if r.Write {
-			r.ID = 0
+			r.ID = dram.TagTenant(0, f.tenant)
 			f.pending = append(f.pending, r)
 			f.st.Writebacks++
 			contribute()
@@ -428,7 +444,7 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 			// outcome); it only reuses the in-flight fill's timing.
 			f.st.Merges++
 			if f.tr != nil {
-				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "merge", Addr: line, ID: e.id})
+				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "merge", Addr: line, ID: e.id, Tenant: f.tenant})
 			}
 			if e.prefetch && !e.demanded {
 				e.classified = true
@@ -451,7 +467,7 @@ func (f *MSHRFile) Register(batch []dram.Request, pfTouch []PFTouch, occDone int
 		for _, line := range f.trainBuf {
 			at := occDone
 			if f.tr != nil {
-				f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "train", Addr: line})
+				f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "train", Addr: line, Tenant: f.tenant})
 			}
 			for _, cand := range f.pf.Observe(line) {
 				f.injectPrefetch(cand, at)
@@ -572,7 +588,7 @@ func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
 	if len(f.entries) >= f.cap || f.prefetchLive() >= f.prefetchQuota() {
 		f.pf.st.DroppedMSHR++
 		if f.tr != nil {
-			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_mshr", Addr: line})
+			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_mshr", Addr: line, Tenant: f.tenant})
 		}
 		return
 	}
@@ -580,24 +596,25 @@ func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
 		f.tim.Backend != nil && !f.tim.Backend.WriteRoom(victim) {
 		f.pf.st.DroppedWQ++
 		if f.tr != nil {
-			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_wq", Addr: line})
+			f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "drop_wq", Addr: line, Tenant: f.tenant})
 		}
 		return
 	}
 	res := f.l2.FillPrefetch(line)
-	e := &mshrEntry{line: line, id: f.nextID, at: at, prefetch: true}
+	e := &mshrEntry{line: line, id: dram.TagTenant(f.nextID, f.tenant), at: at, prefetch: true}
 	f.nextID++
 	f.entries = append(f.entries, e)
 	f.byLine[line] = e
 	f.pending = append(f.pending, dram.Request{Addr: line, At: at, ID: e.id, Prefetch: true})
 	f.pendByID[e.id] = e
 	if res.Writeback && f.tim.Backend != nil {
-		f.pending = append(f.pending, dram.Request{Addr: res.VictimAddr, Write: true, At: at, Prefetch: true})
+		f.pending = append(f.pending, dram.Request{Addr: res.VictimAddr, Write: true, At: at,
+			ID: dram.TagTenant(0, f.tenant), Prefetch: true})
 		f.st.Writebacks++
 	}
 	f.pf.st.Issued++
 	if f.tr != nil {
-		f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "fire", Addr: line, ID: e.id})
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "fire", Addr: line, ID: e.id, Tenant: f.tenant})
 	}
 }
 

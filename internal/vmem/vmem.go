@@ -58,6 +58,13 @@ type Timing struct {
 	// predicted lines ride the lazily-submitted MSHR batch.
 	PFStreams int
 	PFDegree  int
+
+	// Tenant is the requestor tag this timing context files misses
+	// under when the memory system is shared between several front
+	// ends: every request's opaque ID carries it to the backend (see
+	// dram.TagTenant). 0 — the single-requestor default — tags to the
+	// identity, leaving the classic path bit-identical.
+	Tenant int
 }
 
 // DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
@@ -84,6 +91,15 @@ func (tm Timing) SubmitMisses(batch []dram.Request, t0 int64) int64 {
 	done := t0
 	if len(batch) == 0 {
 		return done
+	}
+	if tm.Tenant > 0 {
+		// Blocking path of a shared backend: the subsystems build their
+		// batches with zero IDs (no MSHR entries to route back to), so
+		// the requestor tag is stamped here for the backend's per-tenant
+		// accounting and QoS scheduling.
+		for i := range batch {
+			batch[i].ID = dram.TagTenant(batch[i].ID, tm.Tenant)
+		}
 	}
 	if tm.Backend == nil {
 		for _, r := range batch {
@@ -121,7 +137,7 @@ func (tm Timing) Complete(batch []dram.Request, pfTouch []PFTouch, occDone int64
 	if len(batch) == 0 && len(pfTouch) == 0 {
 		return occDone, nil
 	}
-	p := tm.MSHR.Register(batch, pfTouch, occDone)
+	p := tm.MSHR.RegisterFor(tm.Tenant, batch, pfTouch, occDone)
 	if tm.MSHR.Blocking() {
 		return p.Done(), nil
 	}
