@@ -1,7 +1,11 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench rpsweep ifsweep stats trace tenants fmt-check vet
+.PHONY: verify build test test-race bench wheel rpsweep ifsweep enginebench stats trace tenants fmt-check vet
+
+# J is the sweep parallelism the sweep targets pass to momexp; override
+# with `make rpsweep J=1` to force a serial run.
+J ?= $(shell nproc)
 
 verify: build test
 
@@ -47,17 +51,33 @@ trace:
 	go run -race ./cmd/momsim -bench gsmencode -dram sdram -mshr 8 -pf 4 -trace /tmp/momsim_trace.json -tracebuf 65536
 	@python3 -c "import json; d=json.load(open('/tmp/momsim_trace.json')); print('trace OK:', len(d['traceEvents']), 'events')"
 
+# wheel runs the wheel-vs-step equivalence suite under the race
+# detector: the engine data structures, the golden-table and
+# per-feature bit-identity tests in internal/core, the multi-tenant
+# lockstep equivalence, and the sweep-level parallel/serial and
+# wheel/step byte-identity checks.
+wheel:
+	go test -race -count=1 \
+		-run 'TestRing|TestQueue|TestWheelMatchesStep|MatchesSerial|TestIFSweepWheelMatchesStep' \
+		./internal/engine/ ./internal/core/ ./internal/tenant/ ./internal/experiments/
+
 # rpsweep regenerates the full-size per-bank row-policy matrix
 # (EXPERIMENTS.md's reference table): open/close/timer/history ×
-# demand-only and prefetch traffic on the streaming kernels.
+# demand-only and prefetch traffic on the streaming kernels, on the
+# event-wheel engine with cells sharded across the host's CPUs.
 rpsweep:
-	go run ./cmd/momexp -rpsweep -q
+	go run ./cmd/momexp -rpsweep -engine wheel -j $(J) -q
 
 # ifsweep regenerates the multi-tenant interference matrix
 # (EXPERIMENTS.md's reference table): every tenant mix solo, shared
 # under plain FR-FCFS, and shared under QoS credit scheduling.
 ifsweep:
-	go run ./cmd/momexp -ifsweep -q
+	go run ./cmd/momexp -ifsweep -engine wheel -j $(J) -q
+
+# enginebench measures wheel-vs-step host throughput on the full-size
+# motionsearch HBM rows and the golden matrix, writing BENCH_PR8.json.
+enginebench:
+	go run ./cmd/momexp -enginebench BENCH_PR8.json -q
 
 # tenants smokes the multi-requestor front end under the race detector:
 # two motionsearch instances in lockstep on one shared QoS-scheduled

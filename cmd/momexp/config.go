@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// sweepOptions mirror the engine/parallelism flags; resolveSweep
+// validates them into runner settings so flag handling is testable
+// without flag.Parse (the same pattern as momsim's resolve).
+type sweepOptions struct {
+	Engine string // simulation engine: step (per-cycle oracle) or wheel
+	J      int    // sweep worker goroutines (0 = one per CPU)
+	Reps   int    // -enginebench repetitions per cell (0 = default 3)
+}
+
+// resolveSweep validates the options into an engine mode, a worker
+// count and a rep count.
+func resolveSweep(o sweepOptions) (engine.Mode, int, int, error) {
+	mode, err := engine.ParseMode(o.Engine)
+	if err != nil {
+		return engine.Step, 0, 0, err
+	}
+	if o.J < 0 {
+		return engine.Step, 0, 0, fmt.Errorf("-j must not be negative (got %d; 0 = one worker per CPU)", o.J)
+	}
+	if o.Reps < 0 {
+		return engine.Step, 0, 0, fmt.Errorf("-reps must not be negative (got %d)", o.Reps)
+	}
+	reps := o.Reps
+	if reps == 0 {
+		reps = 3
+	}
+	return mode, experiments.AutoWorkers(o.J), reps, nil
+}

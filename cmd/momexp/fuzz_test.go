@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// FuzzResolveSweep drives momexp's engine/parallelism flag resolution
+// with arbitrary values. resolveSweep is the validation funnel between
+// flag.Parse and the sweep runner, so its contract under fuzzing is
+// strict: it must never panic, and when it accepts a combination the
+// result must be runnable — a valid engine mode, at least one worker,
+// at least one benchmark repetition. The checked-in corpus under
+// testdata/fuzz/FuzzResolveSweep replays known-interesting
+// combinations as regular test cases.
+func FuzzResolveSweep(f *testing.F) {
+	f.Add("", 0, 0)
+	f.Add("step", 1, 1)
+	f.Add("wheel", 8, 5)
+	f.Add("turbo", 4, 3)  // unknown engine: rejected
+	f.Add("Wheel", 2, 2)  // engine names are case-sensitive: rejected
+	f.Add("wheel", -1, 3) // negative workers: rejected
+	f.Add("wheel", 4, -2) // negative reps: rejected
+	f.Fuzz(func(t *testing.T, eng string, j, reps int) {
+		mode, workers, benchReps, err := resolveSweep(sweepOptions{Engine: eng, J: j, Reps: reps})
+		if err != nil {
+			return
+		}
+		if _, perr := engine.ParseMode(eng); perr != nil {
+			t.Fatalf("accepted an unknown engine %q", eng)
+		}
+		if mode != engine.Step && mode != engine.Wheel {
+			t.Fatalf("resolved an impossible engine mode %d", mode)
+		}
+		if workers < 1 {
+			t.Fatalf("accepted %d workers; the sweeps need at least one", workers)
+		}
+		if benchReps < 1 {
+			t.Fatalf("accepted %d benchmark reps; best-of needs at least one", benchReps)
+		}
+		if j > 0 && workers != j {
+			t.Fatalf("-j %d resolved to %d workers", j, workers)
+		}
+	})
+}

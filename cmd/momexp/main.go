@@ -57,10 +57,22 @@ func main() {
 	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
 	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
 	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
+	engineName := flag.String("engine", "", "simulation engine for every run: step (per-cycle oracle) or wheel (event-driven, bit-identical)")
+	jWorkers := flag.Int("j", 0, "worker goroutines the sweeps shard cells across (0 = one per CPU, 1 = serial)")
+	enginebench := flag.String("enginebench", "", "measure wheel-vs-step host throughput and write the report to this file as JSON")
+	reps := flag.Int("reps", 0, "-enginebench repetitions per cell, best-of (0 = default 3)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
+	mode, workers, benchReps, err := resolveSweep(sweepOptions{Engine: *engineName, J: *jWorkers, Reps: *reps})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+		os.Exit(2)
+	}
+
 	r := experiments.NewRunner()
+	r.Engine = mode
+	r.Workers = workers
 	if !*quiet {
 		r.Progress = func(k experiments.SimKey) {
 			fmt.Fprintf(os.Stderr, "sim %-12s %-6s %-18s L2=%d %s\n", k.Bench, k.Variant, k.Mem, k.L2Lat, k.DRAM)
@@ -125,6 +137,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -statsjson runs the pinned golden matrix; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
+	if *enginebench != "" && (dramSet || dramKnobSet || mshrSet || pfSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -enginebench compares the engines on its own configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
+	if *enginebench != "" && *engineName != "" {
+		fmt.Fprintln(os.Stderr, "momexp: -enginebench always measures both engines; drop -engine")
+		os.Exit(2)
+	}
 	if *dramName != "" {
 		// An unset -rp leaves the knob zero (the preset's static open);
 		// an explicit value, "open" included, must parse.
@@ -150,6 +170,31 @@ func main() {
 	}
 
 	switch {
+	case *enginebench != "":
+		var progress func(experiments.SimKey)
+		if !*quiet {
+			progress = r.Progress
+		}
+		rep := experiments.EngineBench(benchReps, progress)
+		fh, err := os.Create(*enginebench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(fh); err == nil {
+			err = fh.Close()
+		} else {
+			fh.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: writing %s: %v\n", *enginebench, err)
+			os.Exit(1)
+		}
+		for _, row := range rep.Rows {
+			fmt.Printf("%-44s %12d cycles  step %8.3fms  wheel %8.3fms  %5.2fx\n",
+				row.Config, row.Cycles, float64(row.StepNs)/1e6, float64(row.WheelNs)/1e6, row.Speedup)
+		}
+		fmt.Printf("wrote %d engine-bench rows (best of %d reps) to %s\n", len(rep.Rows), rep.Reps, *enginebench)
 	case *statsjson != "":
 		var progress func(experiments.SimKey)
 		if !*quiet {
@@ -229,6 +274,11 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Print(experiments.ComputeHeadline(r).Render())
+	}
+
+	if simNs, simCycles := r.HostPerf(); !*quiet && simNs > 0 {
+		fmt.Fprintf(os.Stderr, "host: %s engine, %d workers, %.3fs simulating, %.0f simulated cycles/s\n",
+			mode, workers, float64(simNs)/1e9, float64(simCycles)/(float64(simNs)/1e9))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/dram/policy"
+	"repro/internal/engine"
 	"repro/internal/kernels"
 	"repro/internal/vmem"
 )
@@ -35,6 +36,7 @@ type options struct {
 	L2Lat  int64
 	MemLat int64
 	Gshare bool
+	Engine string // simulation engine: step (per-cycle oracle) or wheel
 
 	// Multi-tenant front end: Tenants runs that many instances of the
 	// kernel trace through one shared L2/MSHR/DRAM (1 = the classic
@@ -67,8 +69,9 @@ type runConfig struct {
 	Core    core.Config
 	MemKind core.MemKind
 	Timing  vmem.Timing
-	Tenants int  // concurrent requestors (1 = single-requestor path)
-	QoS     bool // per-tenant credit scheduling in the sdram controller
+	Tenants int         // concurrent requestors (1 = single-requestor path)
+	QoS     bool        // per-tenant credit scheduling in the sdram controller
+	Engine  engine.Mode // per-cycle oracle or the event-wheel engine
 
 	Trace     string // Chrome trace-event JSON output path ("" = off)
 	StatsJSON string // registry-snapshot JSON output path ("" = off)
@@ -137,7 +140,12 @@ func resolve(o options) (runConfig, error) {
 	if o.Trace != "" && o.Trace == o.StatsJSON {
 		return rc, fmt.Errorf("-trace and -statsjson both write %q; pick distinct files", o.Trace)
 	}
+	mode, err := engine.ParseMode(o.Engine)
+	if err != nil {
+		return rc, err
+	}
 	cfg.UseGshare = o.Gshare
+	rc.Engine = mode
 	rc.Bench = bm
 	rc.Variant = variant
 	rc.Core = cfg

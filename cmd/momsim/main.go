@@ -46,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -83,6 +84,7 @@ func main() {
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
 	gshare := flag.Bool("gshare", false, "use a gshare branch predictor instead of perfect prediction")
+	engineName := flag.String("engine", "", "simulation engine: step (per-cycle oracle) or wheel (event-driven, bit-identical)")
 	verify := flag.Bool("verify", true, "check the kernel output against the scalar reference")
 	traceFile := flag.String("trace", "", "write a cycle-stamped Chrome trace-event JSON to this file")
 	statsFile := flag.String("statsjson", "", "write the stats-registry snapshot as JSON to this file")
@@ -112,7 +114,7 @@ func main() {
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
 		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq, PFDec: *pfdecay,
 		Tenants: *tenants, QoS: *qos,
-		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare,
+		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare, Engine: *engineName,
 		Trace: *traceFile, StatsJSON: *statsFile, TraceBuf: *traceBuf,
 	})
 	if err != nil {
@@ -146,7 +148,9 @@ func main() {
 		tracer = stats.NewTracer(rc.TraceBuf)
 		ms.AttachTracer(tracer)
 	}
-	st := core.Simulate(rc.Core, ms, tr.Insts)
+	start := time.Now()
+	st := core.SimulateMode(rc.Core, ms, tr.Insts, rc.Engine)
+	wall := time.Since(start)
 
 	if rc.MemKind == core.MemIdeal {
 		fmt.Printf("benchmark:   %s (%s, %s)\n", rc.Bench.Name, rc.Variant, rc.MemKind)
@@ -155,6 +159,8 @@ func main() {
 			rc.Bench.Name, rc.Variant, rc.MemKind, *l2lat, rc.Timing.Backend.Name())
 	}
 	fmt.Printf("instructions: %d  cycles: %d  IPC: %.3f\n", st.Committed, st.Cycles, st.IPC())
+	fmt.Printf("engine:      %s, host %.3fs, %s simulated cycles/s\n",
+		rc.Engine, wall.Seconds(), fmtCPS(st.Cycles, wall))
 	if *verify {
 		fmt.Println("output verified against the scalar reference")
 	}
@@ -239,11 +245,34 @@ func main() {
 		reg := stats.NewRegistry()
 		st.Register(reg)
 		ms.Register(reg)
+		registerHost(reg, st.Cycles, wall)
 		writeStatsJSON(rc.StatsJSON, reg)
 	}
 	if tracer != nil {
 		writeTraceJSON(rc.Trace, tracer)
 	}
+}
+
+// fmtCPS renders simulated-cycles-per-host-second for the summary line.
+func fmtCPS(cycles int64, wall time.Duration) string {
+	if wall <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(cycles)/wall.Seconds())
+}
+
+// registerHost publishes host-performance figures — wall-clock
+// nanoseconds of the simulation loop and simulated cycles per host
+// second — under host.* so sweep tooling can read engine throughput
+// straight out of the stats snapshot.
+func registerHost(reg *stats.Registry, cycles int64, wall time.Duration) {
+	ns := wall.Nanoseconds()
+	cps := int64(0)
+	if ns > 0 {
+		cps = int64(float64(cycles) / wall.Seconds())
+	}
+	reg.Gauge("host.wall_ns", func() int64 { return ns })
+	reg.Gauge("host.sim_cycles_per_sec", func() int64 { return cps })
 }
 
 // runTenants is the multi-requestor path: rc.Tenants instances of the
@@ -257,14 +286,22 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 	g := tenant.New(tenant.Options{
 		Core: rc.Core, Kind: rc.MemKind, Tim: rc.Timing, Lanes: rc.Core.Lanes,
 		BankL1: rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal,
-		Traces: traces,
+		Traces: traces, Engine: rc.Engine,
 	})
 	var tracer *stats.Tracer
 	if rc.Trace != "" {
 		tracer = stats.NewTracer(rc.TraceBuf)
 		g.AttachTracer(tracer)
 	}
+	start := time.Now()
 	g.Run()
+	wall := time.Since(start)
+	// The group runs in lockstep, so the longest tenant's cycle count is
+	// the simulated time the host paid for.
+	var cycles int64
+	for i := 0; i < g.N(); i++ {
+		cycles = max(cycles, g.Stats(i).Cycles)
+	}
 
 	qosTag := ""
 	if rc.QoS {
@@ -272,6 +309,8 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 	}
 	fmt.Printf("benchmark:   %s (%s, %s, dram=%s, %d tenants%s)\n",
 		rc.Bench.Name, rc.Variant, rc.MemKind, rc.Timing.Backend.Name(), g.N(), qosTag)
+	fmt.Printf("engine:      %s, host %.3fs, %s simulated cycles/s\n",
+		rc.Engine, wall.Seconds(), fmtCPS(cycles, wall))
 	for i := 0; i < g.N(); i++ {
 		st := g.Stats(i)
 		fmt.Printf("tenant %d: %d instructions, %d cycles, IPC %.3f\n",
@@ -305,6 +344,7 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 	if rc.StatsJSON != "" {
 		reg := stats.NewRegistry()
 		g.Register(reg)
+		registerHost(reg, cycles, wall)
 		writeStatsJSON(rc.StatsJSON, reg)
 	}
 	if tracer != nil {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/kernels"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -80,6 +81,14 @@ func measureGolden(t *testing.T) map[string]goldenRow {
 // table (or a plain measureGolden run) row for row.
 func measureGoldenSpecs(t *testing.T, transform func(string) string) map[string]goldenRow {
 	t.Helper()
+	return measureGoldenEngine(t, transform, engine.Step)
+}
+
+// measureGoldenEngine additionally selects the simulation engine, so
+// the wheel can regenerate the same table through the same registry
+// read-out path.
+func measureGoldenEngine(t *testing.T, transform func(string) string, mode engine.Mode) map[string]goldenRow {
+	t.Helper()
 	variants := []struct {
 		v    kernels.Variant
 		kind MemKind
@@ -105,7 +114,7 @@ func measureGoldenSpecs(t *testing.T, transform func(string) string) map[string]
 				tim := vmem.Timing{L2Latency: 20, MemLatency: 100,
 					Backend: backend, MSHRs: knobs.MSHRs}
 				ms := NewMemSystem(vk.kind, tim, cfg.Lanes, vk.v == kernels.MMX)
-				st := Simulate(cfg, ms, tr.Insts)
+				st := SimulateMode(cfg, ms, tr.Insts, mode)
 				if sd, ok := backend.(*dram.SDRAM); ok {
 					sd.Flush()
 				}

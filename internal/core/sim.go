@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/vmem"
 )
@@ -65,6 +66,17 @@ type robEntry struct {
 	// data is architecturally complete when pend reports ready.
 	// Always nil under the blocking model.
 	pend *vmem.Pending
+
+	// Wheel-engine scheduling state (see wheel.go). An unissued entry
+	// is either active — on its queue's evaluation list — or asleep
+	// with a registered wake-up: a cycle on the sim's issueWake queue,
+	// or (enlisted) a link on the blocking entry's waiter chain.
+	// waiterHead/waiterNext store seq+1, 0 meaning none; the chain
+	// threads through the waiters' own ROB entries.
+	active     bool
+	enlisted   bool
+	waiterHead uint64
+	waiterNext uint64
 }
 
 type storeRec struct {
@@ -126,6 +138,30 @@ type Sim struct {
 	next            int // next trace index to dispatch
 	lastCommitCycle int64
 
+	// Wheel-engine state (see wheel.go). issueWake is the persistent
+	// per-sim queue of sleeping entries' timed wake-ups; qActive
+	// holds, per issue queue, the seqs that must actually be
+	// evaluated this cycle — everything else is asleep with a
+	// registered wake-up and is never touched. wheelIssue routes
+	// issueQueue to the event-driven scan; issueGen counts issues so
+	// Advance can detect no-progress steps.
+	issueWake  *engine.Ring
+	qActive    [qCount][]uint64
+	scanBuf    []uint64 // reusable rebuild buffer for issueQueueWheel
+	midBuf     []uint64 // reusable mid-scan wake collector
+	extrasBuf  []uint64 // reusable same-cycle merge list
+	wheelIssue bool
+	issueGen   uint64
+	// Issue-side skip verdict, rebuilt by each Step's scans so NextWake
+	// needs no walk of its own: issueNoSkip forces a real step next
+	// cycle (an active entry needs a per-cycle re-check); issueUnitBound
+	// is the earliest cycle a busy unit frees for a ready entry.
+	issueNoSkip    bool
+	issueUnitBound int64
+	// robMask is Window-1 when Window is a power of two, letting
+	// entry() mask instead of divide on the hottest path; 0 otherwise.
+	robMask uint64
+
 	now   int64
 	stats Stats
 }
@@ -165,6 +201,9 @@ func NewSim(cfg Config, mem *MemSystem, insts []isa.Inst) *Sim {
 	s := &Sim{cfg: cfg, mem: mem, insts: insts,
 		rob:       make([]robEntry, cfg.Window),
 		pendBySeq: map[uint64]pendRec{}}
+	if cfg.Window > 0 && cfg.Window&(cfg.Window-1) == 0 {
+		s.robMask = uint64(cfg.Window - 1) // power-of-two window: entry() masks
+	}
 	if cfg.UseGshare {
 		s.pht = make([]int8, 1<<cfg.GshareBits)
 	}
@@ -249,7 +288,13 @@ func (s *Sim) prunePending() {
 }
 
 func (s *Sim) entry(seq uint64) *robEntry {
-	e := &s.rob[seq%uint64(s.cfg.Window)]
+	i := seq
+	if s.robMask != 0 {
+		i &= s.robMask
+	} else {
+		i %= uint64(s.cfg.Window)
+	}
+	e := &s.rob[i]
 	if e.valid && e.seq == seq {
 		return e
 	}
@@ -381,6 +426,13 @@ func (s *Sim) ready(e *robEntry) bool {
 // issue selects ready instructions oldest-first from each queue, bounded
 // by the per-queue issue widths and functional unit structure.
 func (s *Sim) issue() {
+	if s.wheelIssue {
+		// Reset this step's issue-side skip verdict; the scans below,
+		// wakeWaiters, and insert re-establish it (see wheel.go).
+		s.issueNoSkip = false
+		s.issueUnitBound = maxWake
+		s.drainWakes() // move entries whose timed wake-up is due back to active
+	}
 	// Integer pipeline.
 	s.issueQueue(qInt, s.cfg.IntIssue, func(e *robEntry) (int64, bool) {
 		return s.now + int64(e.in.Op.Class().Latency()), true
@@ -457,7 +509,13 @@ func (s *Sim) forwardable(e *robEntry) bool {
 
 // issueQueue scans one pending queue oldest-first, issuing up to width
 // entries for which fire() grants a slot and returns a completion cycle.
+// Under the wheel engine the scan is event-driven instead (wheel.go):
+// only entries with a pending reason to re-evaluate are visited.
 func (s *Sim) issueQueue(q queue, width int, fire func(e *robEntry) (int64, bool)) {
+	if s.wheelIssue {
+		s.issueQueueWheel(q, width, fire)
+		return
+	}
 	pend := s.pend[q]
 	kept := pend[:0]
 	issued := 0
@@ -474,6 +532,7 @@ func (s *Sim) issueQueue(q queue, width int, fire func(e *robEntry) (int64, bool
 				if e.donePtr == 0 {
 					e.donePtr = done
 				}
+				s.issueGen++
 				issued++
 				continue
 			}
@@ -595,7 +654,18 @@ func (s *Sim) insert(in *isa.Inst) {
 		}
 	}
 
-	s.pend[e.q] = append(s.pend[e.q], in.Seq)
+	if s.wheelIssue {
+		// Park straight from dispatch when a registered wake-up covers
+		// the entry; otherwise it is ready (or needs per-cycle polls)
+		// and must be evaluated next cycle.
+		if _, asleep := s.issueBoundPark(e); !asleep {
+			e.active = true
+			s.qActive[e.q] = append(s.qActive[e.q], in.Seq)
+			s.issueNoSkip = true
+		}
+	} else {
+		s.pend[e.q] = append(s.pend[e.q], in.Seq)
+	}
 	s.count++
 }
 

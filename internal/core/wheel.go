@@ -1,0 +1,596 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+)
+
+// This file is the event-wheel engine: the machinery that lets a Sim
+// jump over cycles in which Step would provably do nothing, while
+// staying bit-identical to per-cycle stepping — including the stall
+// counters Step charges every idle cycle and the exact cycles at
+// which ready()'s ReadyBy polls force MSHR batch flushes.
+//
+// Two structures carry the engine. First, the issue side is event-
+// driven: each queue only evaluates its active list — entries with a
+// pending reason to re-check. A blocked entry parks with a registered
+// wake-up: a cycle bound on the sim's persistent issueWake queue (the
+// blocker's completion or flush bound), or a link on the blocking
+// entry's waiter chain when only that entry's own issue can unblock
+// it. Sleeping entries are never touched, which is what makes the
+// executed steps cheap. Second, after a Step that made no progress,
+// NextWake collects a conservative wake-up from every pollable
+// subsystem (commit head, store buffer, dispatch gates, active
+// entries, the earliest sleeping entry) and SkipTo jumps the clock
+// there in one move, bulk-charging the stall reasons Step would have
+// charged cycle by cycle. Every predicate SkipTo consults is frozen
+// across the window by construction: any cycle at which it could flip
+// is itself a scheduled wake-up.
+//
+// Why parking is sound — a parked verdict can only flip at its
+// registered wake-up:
+//
+//   - A time bound is immune to everything but time. The walk's first
+//     blocker had issued with a fixed completion time, or was a fill
+//     handle whose bound only grows as accesses merge in (every fill
+//     completes no earlier than arrival plus the backend's minimum
+//     latency, which is exactly what the bound maximized — so flushes,
+//     including other tenants', cannot undercut it). The satisfied
+//     dependences before the blocker stay satisfied: done times are
+//     fixed and a ready handle stays ready.
+//   - A chain link waits on one specific unissued entry (a producer or
+//     an overlapping older store). While it has not issued, the walk
+//     re-derives the same blocker, and its issue walks the chain. The
+//     chain cannot dangle: waiters are younger than their blocker, and
+//     in-order commit cannot retire past an unissued entry, so no
+//     chained slot is recycled while the chain is live. (There is no
+//     squash path — mispredicts only stall fetch.)
+//
+// The skipped ready() polls are unobservable: every handle before the
+// first blocker is resolved (its polls mutate nothing), and the
+// blocker's own poll first flushes at its lower bound — exactly the
+// registered wake-up, where a real Step performs the poll so the MSHR
+// occupancy/flush statistics match the oracle bit for bit.
+
+// SimulateMode is Simulate with an explicit engine selection: Step is
+// the cycle-stepped oracle, Wheel skips dead cycles between scheduled
+// wake-ups. Both produce bit-identical statistics.
+func SimulateMode(cfg Config, mem *MemSystem, insts []isa.Inst, mode engine.Mode) *Stats {
+	s := NewSim(cfg, mem, insts)
+	s.SetEngine(mode)
+	if mode == engine.Wheel {
+		for s.Running() {
+			s.Advance()
+		}
+	} else {
+		for s.Running() {
+			s.Step()
+		}
+	}
+	st := s.Finish()
+	mem.Drain()
+	return st
+}
+
+// SetEngine selects the engine for a hand-stepped Sim. Under Wheel,
+// the issue scan switches to the event-driven active lists and the
+// caller drives the clock with Advance — or, in a lockstep group,
+// with NextWake/SkipTo around shared Step rounds. Switching to Wheel
+// mid-run adopts already-dispatched entries; switching back to Step
+// mid-run is not supported.
+func (s *Sim) SetEngine(mode engine.Mode) {
+	s.wheelIssue = mode == engine.Wheel
+	if s.wheelIssue && s.issueWake == nil {
+		// Spans the common wake distance (memory latency plus queueing);
+		// rarer far-future bounds overflow to the ring's small heap.
+		s.issueWake = engine.NewRing(1024)
+		for i := range s.rob {
+			e := &s.rob[i]
+			if e.valid && !e.issued && !e.active {
+				e.active = true
+				s.qActive[e.q] = append(s.qActive[e.q], e.seq)
+			}
+		}
+		// No scan has evaluated the adopted entries yet: the first
+		// NextWake must not skip until a real step computes a verdict.
+		s.issueNoSkip = true
+		s.issueUnitBound = maxWake
+	}
+}
+
+// maxWake marks an entry blocked on another entry's issue rather than
+// on a cycle bound.
+const maxWake = math.MaxInt64
+
+// drainWakes moves every entry whose timed wake-up is due back onto
+// its queue's active list. Spurious wakes (the entry re-parked with a
+// later bound, or already issued) are filtered here.
+func (s *Sim) drainWakes() {
+	for {
+		seq, ok := s.issueWake.PopUpTo(s.now)
+		if !ok {
+			return
+		}
+		if e := s.entry(seq); e != nil && !e.issued && !e.active {
+			e.active = true
+			s.qActive[e.q] = append(s.qActive[e.q], e.seq)
+		}
+	}
+}
+
+// park puts e to sleep until the given cycle bound — or, for maxWake,
+// until the entry at wseq issues — and reports whether it did. A
+// bound not in the future keeps the entry active (the next real Step
+// must re-evaluate it, performing any poll the oracle would).
+func (s *Sim) park(e *robEntry, wake int64, wseq uint64) bool {
+	if wake == maxWake {
+		if !e.enlisted {
+			p := s.entry(wseq)
+			if p == nil || p.issued {
+				return false // blocker vanished under us: recheck next cycle
+			}
+			e.waiterNext = p.waiterHead
+			p.waiterHead = e.seq + 1
+			e.enlisted = true
+		}
+		// Already enlisted: while the blocker is unissued the walk
+		// re-derives the same blocker, so the existing link stands.
+		e.active = false
+		return true
+	}
+	if wake <= s.now {
+		return false
+	}
+	s.issueWake.Schedule(wake, e.seq)
+	e.active = false
+	return true
+}
+
+// wakeWaiters re-activates every entry chained on p, called when p
+// issues from queue q's scan. Waiters on q or a later queue activate —
+// their scan runs (or is running) this very cycle, exactly when the
+// oracle would re-evaluate them. A waiter on an already-scanned queue
+// cannot issue this cycle (its blocker's completion lies in the
+// future), so it re-parks immediately — typically on the blocker's
+// completion time — instead of burning a step on a doomed re-check.
+func (s *Sim) wakeWaiters(p *robEntry, q queue) {
+	h := p.waiterHead
+	p.waiterHead = 0
+	for h != 0 {
+		e := s.entry(h - 1)
+		if e == nil {
+			return // unreachable: waiters cannot commit past their blocker
+		}
+		h = e.waiterNext
+		e.waiterNext = 0
+		e.enlisted = false
+		if e.issued || e.active {
+			continue
+		}
+		if e.q >= q {
+			e.active = true
+			s.qActive[e.q] = append(s.qActive[e.q], e.seq)
+			continue
+		}
+		if _, asleep := s.issueBoundPark(e); !asleep {
+			e.active = true
+			s.qActive[e.q] = append(s.qActive[e.q], e.seq)
+			s.issueNoSkip = true // evaluated next cycle; its scan already ran
+		}
+	}
+}
+
+// noteRefusal records why fire refused a ready entry: a busy single
+// unit contributes its free time as a wake-up bound; anything else
+// (port or width contention — other entries issued) conservatively
+// forces a real step next cycle.
+func (s *Sim) noteRefusal(q queue, e *robEntry) {
+	switch {
+	case q == qSIMD && s.cfg.SIMDFUs == 1 && s.cfg.Lanes > 1 && s.simdBusyUntil > s.now:
+		if s.simdBusyUntil < s.issueUnitBound {
+			s.issueUnitBound = s.simdBusyUntil
+		}
+	case q == qMem && e.in.Op == isa.Op3DVMov && s.moverBusyUntil > s.now:
+		if s.moverBusyUntil < s.issueUnitBound {
+			s.issueUnitBound = s.moverBusyUntil
+		}
+	default:
+		s.issueNoSkip = true
+	}
+}
+
+// issueQueueWheel is issueQueue over the queue's active list only.
+// The list is sorted so width goes to the oldest ready entries, as
+// the oracle's in-order scan allocates it. Entries woken mid-scan by
+// a blocker issuing are merged back into the scan in seq order: a
+// waiter is always younger than its blocker, so the oracle's single
+// in-order pass evaluates it after the blocker issues — in the same
+// cycle — and the wheel must too.
+func (s *Sim) issueQueueWheel(q queue, width int, fire func(e *robEntry) (int64, bool)) {
+	act := s.qActive[q]
+	if len(act) == 0 {
+		return
+	}
+	s.qActive[q] = s.midBuf[:0] // detach: mid-scan wakes collect separately
+	slices.Sort(act)
+	issued := 0
+
+	// Fast path: no mid-scan wakes yet, so survivors compact in place
+	// (k never passes i) and nothing is copied.
+	k, i := 0, 0
+	merged := false
+	for ; i < len(act); i++ {
+		seq := act[i]
+		e := s.entry(seq)
+		if e == nil || e.issued {
+			continue
+		}
+		if issued >= width {
+			// The oracle stops evaluating (and polling) once width is
+			// spent, so the poll-free walk is exact here: park if a
+			// registered wake-up covers the entry, else re-check next
+			// cycle.
+			if _, asleep := s.issueBoundPark(e); !asleep {
+				act[k] = seq
+				k++
+				s.issueNoSkip = true
+			}
+			continue
+		}
+		ok, wake, wseq := s.readyBound(e)
+		if !ok {
+			if !s.park(e, wake, wseq) {
+				act[k] = seq
+				k++
+				s.issueNoSkip = true // bound not in the future: re-poll next cycle
+			}
+			continue
+		}
+		done, ok := fire(e)
+		if !ok {
+			act[k] = seq // ready, but the unit refused the grant
+			k++
+			s.noteRefusal(q, e)
+			continue
+		}
+		e.issued = true
+		e.done = done
+		if e.donePtr == 0 {
+			e.donePtr = done
+		}
+		s.issueGen++
+		issued++
+		if s.wakeWaiters(e, q); len(s.qActive[q]) > 0 {
+			i++
+			merged = true
+			break // same-cycle waiters woke: switch to the merge scan
+		}
+	}
+	if !merged {
+		s.midBuf = s.qActive[q][:0]
+		s.qActive[q] = act[:k]
+		return
+	}
+
+	// Merge path: waiters woken mid-scan are always younger than their
+	// blocker, hence younger than every already-kept survivor, so a
+	// two-cursor merge over the remaining act entries and the woken
+	// extras preserves the oracle's in-order evaluation.
+	extras := append(s.extrasBuf[:0], s.qActive[q]...)
+	s.qActive[q] = s.qActive[q][:0]
+	slices.Sort(extras)
+	out := append(s.scanBuf[:0], act[:k]...)
+	j := 0
+	for i < len(act) || j < len(extras) {
+		var seq uint64
+		if j < len(extras) && (i >= len(act) || extras[j] < act[i]) {
+			seq = extras[j]
+			j++
+		} else {
+			seq = act[i]
+			i++
+		}
+		e := s.entry(seq)
+		if e == nil || e.issued {
+			continue
+		}
+		if issued >= width {
+			if _, asleep := s.issueBoundPark(e); !asleep {
+				out = append(out, seq)
+				s.issueNoSkip = true
+			}
+			continue
+		}
+		ok, wake, wseq := s.readyBound(e)
+		if !ok {
+			if !s.park(e, wake, wseq) {
+				out = append(out, seq)
+				s.issueNoSkip = true
+			}
+			continue
+		}
+		done, ok := fire(e)
+		if !ok {
+			out = append(out, seq)
+			s.noteRefusal(q, e)
+			continue
+		}
+		e.issued = true
+		e.done = done
+		if e.donePtr == 0 {
+			e.donePtr = done
+		}
+		s.issueGen++
+		issued++
+		if s.wakeWaiters(e, q); len(s.qActive[q]) > 0 {
+			extras = append(extras, s.qActive[q]...)
+			s.qActive[q] = s.qActive[q][:0]
+			slices.Sort(extras[j:])
+		}
+	}
+	// Recycle all three detached backings for the next scan.
+	s.midBuf = s.qActive[q][:0]
+	s.extrasBuf = extras[:0]
+	s.scanBuf = act[:0]
+	s.qActive[q] = out
+}
+
+// readyBound is ready() extended with the first-blocker wake-up. It
+// performs the identical short-circuit walk and the identical lazy
+// ReadyBy polls (so MSHR flushes fire at the same cycles the oracle
+// fires them); on a blocked verdict it reports the first cycle the
+// verdict could flip on its own — the blocker's completion or flush
+// bound — or maxWake plus the seq of the unissued entry whose issue
+// is the only event that can unblock it.
+func (s *Sim) readyBound(e *robEntry) (bool, int64, uint64) {
+	for i := 0; i < e.ndeps; i++ {
+		d := e.deps[i]
+		p := s.entry(d.seq)
+		if p == nil {
+			if rec, ok := s.pendBySeq[d.seq]; ok && !d.usePtr && !rec.h.ReadyBy(s.now) {
+				b, _ := rec.h.Bound()
+				return false, b, 0
+			}
+			continue
+		}
+		if !p.issued {
+			return false, maxWake, d.seq
+		}
+		t := p.done
+		if d.usePtr {
+			t = p.donePtr
+		}
+		if t > s.now {
+			return false, t, 0
+		}
+		if !d.usePtr && p.pend != nil && !p.pend.ReadyBy(s.now) {
+			b, _ := p.pend.Bound()
+			return false, b, 0
+		}
+	}
+	if e.in.Kind.IsMem() && !e.in.IsStore {
+		for _, st := range s.stores {
+			if st.seq >= e.seq {
+				break
+			}
+			if st.lo < e.hi && e.lo < st.hi {
+				if p := s.entry(st.seq); p != nil && !p.issued {
+					return false, maxWake, st.seq
+				}
+			}
+		}
+	}
+	return true, 0, 0
+}
+
+// issueBoundPark is readyBound without the polls — NextWake must not
+// flush — parking the entry on its first blocking condition. For
+// unresolved fill handles it uses the poll-free lower bound, which is
+// exactly the cycle a per-cycle poll would first flush, so the wake-up
+// lands the real Step (and its flush) on the oracle's cycle. It
+// returns (ready, asleep): ready means nothing blocks at now; asleep
+// means the entry parked with a registered wake-up. Neither means the
+// bound was not in the future — the caller keeps the entry active.
+func (s *Sim) issueBoundPark(e *robEntry) (bool, bool) {
+	now := s.now
+	for i := 0; i < e.ndeps; i++ {
+		d := e.deps[i]
+		p := s.entry(d.seq)
+		if p == nil {
+			rec, ok := s.pendBySeq[d.seq]
+			if !ok || d.usePtr {
+				continue // value in the register file
+			}
+			t, exact := rec.h.Bound()
+			if !exact || t > now {
+				return false, s.park(e, t, 0)
+			}
+			continue
+		}
+		if !p.issued {
+			return false, s.park(e, maxWake, d.seq)
+		}
+		t := p.done
+		if d.usePtr {
+			t = p.donePtr
+		}
+		if t > now {
+			return false, s.park(e, t, 0)
+		}
+		if !d.usePtr && p.pend != nil {
+			t, exact := p.pend.Bound()
+			if !exact || t > now {
+				return false, s.park(e, t, 0)
+			}
+		}
+	}
+	if e.in.Kind.IsMem() && !e.in.IsStore {
+		for _, st := range s.stores {
+			if st.seq >= e.seq {
+				break
+			}
+			if st.lo < e.hi && e.lo < st.hi {
+				if p := s.entry(st.seq); p != nil && !p.issued {
+					return false, s.park(e, maxWake, st.seq)
+				}
+			}
+		}
+	}
+	return true, false
+}
+
+// Advance is the wheel engine's Step: one real pipeline step, then a
+// jump over the cycles no subsystem can act in. The wake-up scan runs
+// after every step — it costs a fraction of a Step, and about a
+// quarter of productive steps are followed by a dead cycle, which the
+// scan converts into a jump instead of an executed no-op step.
+func (s *Sim) Advance() {
+	s.Step()
+	if !s.Running() || s.issueNoSkip {
+		// An issue-side verdict of "re-check next cycle" already rules
+		// out a skip, so the wake-up scan isn't even worth its call.
+		return
+	}
+	if t := s.NextWake(); t > s.now {
+		s.SkipTo(t)
+	}
+}
+
+// NextWake returns the earliest cycle >= now at which a Step might do
+// something a skipped cycle would not (commit, issue, dispatch, an
+// MSHR flush triggered by a poll, the no-progress panic). Returning
+// now means the next cycle cannot be skipped. As a side effect it
+// parks any still-active entry that has a future wake-up, pruning the
+// active lists down to entries that genuinely need per-cycle checks.
+func (s *Sim) NextWake() int64 {
+	if s.issueWake == nil {
+		s.SetEngine(engine.Wheel) // hand-stepped caller skipped SetEngine
+	}
+	now := s.now
+	if s.issueNoSkip {
+		return now // an active entry needs a per-cycle re-check
+	}
+
+	// NextWake only ever needs the earliest candidate, so wake-ups
+	// accumulate into a plain minimum rather than a heap. Seeded with
+	// the watchdog fence: the no-progress panic in Step must fire at
+	// the identical cycle it would under per-cycle stepping.
+	best := s.lastCommitCycle + noProgressLimit
+	sched := func(t int64) {
+		if t < best {
+			best = t
+		}
+	}
+
+	// Commit side. A completed head is progress unless the store
+	// buffer blocks it; then the ways out are fills landing — the
+	// head's own and any posted store's (freeing a slot) — plus the
+	// per-cycle ReadyBy poll of the oldest posted store, which flushes
+	// the MSHR file at its lower bound. All of those bounds stop the
+	// skip.
+	if s.count > 0 {
+		e := &s.rob[s.head]
+		if e.issued {
+			if e.done > now {
+				sched(e.done)
+			} else {
+				outstanding := e.pend != nil && !e.pend.Settled(now)
+				if outstanding && e.in.IsStore && s.cfg.StoreBuf > 0 &&
+					len(s.postedStores) >= s.cfg.StoreBuf {
+					b, _ := e.pend.Bound()
+					sched(b)
+					for _, h := range s.postedStores {
+						b, _ := h.Bound()
+						sched(b)
+					}
+				} else {
+					return now // head retires next cycle
+				}
+			}
+		}
+		// An unissued head is covered by the issue scan below.
+	}
+
+	// Dispatch side.
+	if s.mispredictPend {
+		// Dispatch resolves the mispredict the cycle the branch's done
+		// time passes (the resume time is computed from e.done, so the
+		// resolution Step must not be skipped past). An unissued branch
+		// is covered by the issue scan.
+		if e := s.entry(s.mispredictSeq); e != nil && e.issued {
+			sched(e.done)
+		}
+	} else if s.next < len(s.insts) {
+		if now < s.fetchResumeAt {
+			sched(s.fetchResumeAt)
+		} else {
+			in := &s.insts[s.next]
+			isMem := in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem
+			if s.count != s.cfg.Window &&
+				!(isMem && s.lsqCount == s.cfg.LSQ) &&
+				s.regsAvailable(in) {
+				return now // dispatch inserts next cycle
+			}
+			// Resource-stalled: only a commit frees the window / LSQ /
+			// rename registers, and the commit candidates above (or the
+			// issue scan, for an unissued head) already cover that.
+		}
+	}
+
+	// Issue side: the verdict was computed by this step's own scans
+	// (and by insert and wakeWaiters, which park new or woken entries
+	// or flag them for a next-cycle re-check — issueNoSkip, handled at
+	// the top), so no walk is needed here: every entry still on an
+	// active list has already flagged itself or contributed a unit
+	// bound.
+	if s.issueUnitBound != maxWake {
+		sched(s.issueUnitBound)
+	}
+	// The earliest sleeping entry's timed wake-up.
+	if t, ok := s.issueWake.NextCycle(); ok {
+		sched(t)
+	}
+
+	if best <= now {
+		return now
+	}
+	return best
+}
+
+// SkipTo advances the clock to cycle t without stepping, charging the
+// per-cycle stall statistics the skipped Steps would have charged. The
+// caller must have established via NextWake that every cycle in
+// (s.now, t) is a no-op; the predicates below are then frozen across
+// the window, because any cycle at which one could flip is itself a
+// NextWake candidate.
+func (s *Sim) SkipTo(t int64) {
+	n := t - s.now
+	if n <= 0 {
+		return
+	}
+	if s.count > 0 {
+		e := &s.rob[s.head]
+		outstanding := e.issued && e.done <= s.now &&
+			e.pend != nil && !e.pend.Settled(s.now)
+		if outstanding && e.in.IsStore && s.cfg.StoreBuf > 0 &&
+			len(s.postedStores) >= s.cfg.StoreBuf {
+			s.stats.StallSB += uint64(n)
+		}
+	}
+	if !s.mispredictPend && s.now >= s.fetchResumeAt && s.next < len(s.insts) {
+		in := &s.insts[s.next]
+		isMem := in.Kind.IsMem() || in.Kind == isa.KindUSIMDMem
+		switch {
+		case s.count == s.cfg.Window:
+			s.stats.StallROB += uint64(n)
+		case isMem && s.lsqCount == s.cfg.LSQ:
+			s.stats.StallLSQ += uint64(n)
+		case !s.regsAvailable(in):
+			s.stats.StallRegs += uint64(n)
+		}
+	}
+	s.now = t
+}

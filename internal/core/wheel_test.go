@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vmem"
+)
+
+// The wheel engine's correctness bar is absolute: not "close", but
+// bit-identical to per-cycle stepping on every statistic the registry
+// exports — including stall-cycle charges and the MSHR flush/occupancy
+// counters that observe WHEN lazy batches were flushed, not just what
+// they contained. These tests hold the wheel to that bar.
+
+// TestWheelMatchesStepGolden regenerates the entire checked-in
+// golden-stats table (all 54 rows) through the wheel engine. Any
+// divergence from the pinned table is a wheel bug by definition.
+func TestWheelMatchesStepGolden(t *testing.T) {
+	want := loadGolden(t)
+	got := measureGoldenEngine(t, func(spec string) string { return spec }, engine.Wheel)
+	if len(want) != len(got) {
+		t.Errorf("golden table has %d rows, wheel measured %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: configuration not measured", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: wheel diverged from the golden table:\n  golden %s\n  wheel  %s", key, w, g)
+		}
+	}
+}
+
+// engineSnapshot runs one configuration under one engine and returns
+// the full registry snapshot rendered to its deterministic listing.
+func engineSnapshot(t *testing.T, bm kernels.Benchmark, v kernels.Variant,
+	kind MemKind, spec string, mut func(*Config), mode engine.Mode) string {
+	t.Helper()
+	tr := &trace.Trace{}
+	bm.Run(v, tr)
+	cfg := MOMCore()
+	if v == kernels.MMX {
+		cfg = MMXCore()
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	var backend dram.Backend
+	var knobs dram.Knobs
+	if spec != "" {
+		b, k, err := dram.ParseSpecFull(spec, 100)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		backend, knobs = b, k
+	}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	ms := NewMemSystem(kind, tim, cfg.Lanes, v == kernels.MMX && kind != MemIdeal)
+	st := SimulateMode(cfg, ms, tr.Insts, mode)
+	if sd, ok := backend.(*dram.SDRAM); ok {
+		sd.Flush()
+	}
+	reg := stats.NewRegistry()
+	st.Register(reg)
+	ms.Register(reg)
+	return reg.Snapshot().String()
+}
+
+// requireEngineMatch asserts wheel == step on the full snapshot.
+func requireEngineMatch(t *testing.T, name string, bm kernels.Benchmark,
+	v kernels.Variant, kind MemKind, spec string, mut func(*Config)) {
+	t.Helper()
+	step := engineSnapshot(t, bm, v, kind, spec, mut, engine.Step)
+	wheel := engineSnapshot(t, bm, v, kind, spec, mut, engine.Wheel)
+	if step != wheel {
+		t.Errorf("%s: wheel snapshot diverged from step\n--- step ---\n%s--- wheel ---\n%s",
+			name, step, wheel)
+	}
+}
+
+// TestWheelMatchesStepSnapshots crosses benchmarks × backends × vmem
+// knobs (mshr, prefetch, row policies, timing profiles) and requires
+// every registered counter, gauge and histogram to match bit for bit.
+func TestWheelMatchesStepSnapshots(t *testing.T) {
+	specs := []string{
+		"", // flat latency, nil backend
+		"fixed",
+		"sdram/line/frfcfs",
+		"sdram/bank/fcfs/ddr",
+		"sdram/line/frfcfs/hbm",
+		"sdram/line/frfcfs/mshr1",
+		"sdram/line/frfcfs/mshr8",
+		"sdram/line/frfcfs/hbm/mshr16/pf8d2",
+		"sdram/line/frfcfs/mshr16/rphistory/pf8",
+		"sdram/line/frfcfs/ddr/mshr8/rptimer:150",
+		"sdram/line/frfcfs/rpclose",
+	}
+	benches := []kernels.Benchmark{
+		GSMEnc(),
+		MPEG2Enc(),
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig()),
+	}
+	for _, bm := range benches {
+		for _, spec := range specs {
+			name := fmt.Sprintf("%s/mom3d/%s", bm.Name, spec)
+			requireEngineMatch(t, name, bm, kernels.MOM3D, MemVectorCache3D, spec, nil)
+		}
+		// The other ISA pipelines on a representative backend each.
+		requireEngineMatch(t, bm.Name+"/mom", bm, kernels.MOM, MemVectorCache,
+			"sdram/line/frfcfs/mshr8", nil)
+		requireEngineMatch(t, bm.Name+"/mmx", bm, kernels.MMX, MemMultiBanked,
+			"sdram/line/frfcfs", nil)
+	}
+	// Ideal memory: dispatch/issue-only dead time.
+	requireEngineMatch(t, "gsmencode/ideal", GSMEnc(), kernels.MOM, MemIdeal, "", nil)
+}
+
+// TestWheelMatchesStepGshare covers the mispredict-pending and
+// fetch-resume wake-ups, which only the gshare ablation exercises.
+func TestWheelMatchesStepGshare(t *testing.T) {
+	gshare := func(c *Config) { c.UseGshare = true }
+	for _, bm := range []kernels.Benchmark{GSMEnc(), JPEGEnc(),
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig())} {
+		requireEngineMatch(t, bm.Name+"/gshare/flat", bm, kernels.MOM3D,
+			MemVectorCache3D, "", gshare)
+		requireEngineMatch(t, bm.Name+"/gshare/mshr8", bm, kernels.MOM3D,
+			MemVectorCache3D, "sdram/line/frfcfs/mshr8", gshare)
+	}
+}
+
+// TestWheelMatchesStepStoreBuffer pins the store-buffer-full skip path
+// (bulk StallSB charging plus the oldest-posted-store flush poll) with
+// a 1-entry buffer, the configuration TestStoreBufferBounds uses.
+func TestWheelMatchesStepStoreBuffer(t *testing.T) {
+	sb1 := func(c *Config) { c.StoreBuf = 1 }
+	for _, bm := range []kernels.Benchmark{GSMEnc(), MPEG2Enc()} {
+		requireEngineMatch(t, bm.Name+"/sb1", bm, kernels.MOM3D,
+			MemVectorCache3D, "sdram/line/frfcfs/mshr8", sb1)
+		requireEngineMatch(t, bm.Name+"/sb1/pf", bm, kernels.MOM3D,
+			MemVectorCache3D, "sdram/line/frfcfs/hbm/mshr16/pf8d2", sb1)
+	}
+}

@@ -467,21 +467,27 @@ func (s *SDRAM) decode(addr uint64) (ch, bk int, row int64) {
 // refreshUpTo performs every refresh epoch the channel owes before
 // cycle t: all banks close their rows and stall for TRFC.
 func (s *SDRAM) refreshUpTo(c *channel, t int64) {
-	if s.cfg.TREFI <= 0 {
+	if s.cfg.TREFI <= 0 || t < c.nextRefresh {
 		return
 	}
-	for t >= c.nextRefresh {
-		for b := range c.banks {
-			bk := &c.banks[b]
-			bk.open = false
-			if bk.freeAt < c.nextRefresh {
-				bk.freeAt = c.nextRefresh
-			}
-			bk.freeAt += s.cfg.TRFC
-		}
-		c.nextRefresh += s.cfg.TREFI
-		s.st.Refreshes++
+	// All k owed epochs land in closed form rather than one loop pass
+	// each — long-idle channels (staggered tenants, drained traces) owe
+	// thousands. Stepping epoch i sets freeAt = max(freeAt, epoch_i) +
+	// TRFC, so the final free time is whichever is later: every TRFC
+	// stacked serially on the bank's current backlog, or the last
+	// epoch's own TRFC tail (the steady state once the backlog drains —
+	// TRFC <= TREFI — while back-to-back epochs, TRFC > TREFI, keep
+	// stacking from the first).
+	k := (t-c.nextRefresh)/s.cfg.TREFI + 1
+	first := c.nextRefresh
+	last := first + (k-1)*s.cfg.TREFI
+	for b := range c.banks {
+		bk := &c.banks[b]
+		bk.open = false
+		bk.freeAt = max(max(bk.freeAt, first)+k*s.cfg.TRFC, last+s.cfg.TRFC)
 	}
+	c.nextRefresh = last + s.cfg.TREFI
+	s.st.Refreshes += uint64(k)
 }
 
 // rowLatency categorizes the access against the bank's row buffer,

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// drain pops every event due at or before now, returning the payloads.
+func drain(r *Ring, now int64) []uint64 {
+	var out []uint64
+	for {
+		d, ok := r.PopUpTo(now)
+		if !ok {
+			return out
+		}
+		out = append(out, d)
+	}
+}
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing(256)
+	if _, ok := r.NextCycle(); ok {
+		t.Fatal("empty ring reports a next cycle")
+	}
+	r.Schedule(10, 1)
+	r.Schedule(5, 2)
+	r.Schedule(10, 3)
+	if c, ok := r.NextCycle(); !ok || c != 5 {
+		t.Fatalf("NextCycle = %d,%v, want 5", c, ok)
+	}
+	if got := drain(r, 4); len(got) != 0 {
+		t.Fatalf("popped %v before due", got)
+	}
+	if got := drain(r, 5); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("at 5 popped %v, want [2]", got)
+	}
+	if c, ok := r.NextCycle(); !ok || c != 10 {
+		t.Fatalf("NextCycle after pop = %d,%v, want 10", c, ok)
+	}
+	got := drain(r, 10)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("at 10 popped %v, want [1 3]", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingPastClamped(t *testing.T) {
+	r := NewRing(64)
+	// Advance the window, then schedule behind it: the event must
+	// still pop, at the present.
+	r.Schedule(100, 1)
+	if got := drain(r, 99); len(got) != 0 {
+		t.Fatalf("popped %v early", got)
+	}
+	r.Schedule(3, 2) // far in the past: clamps to the window base
+	if c, ok := r.NextCycle(); !ok || c > 100 {
+		t.Fatalf("NextCycle = %d,%v, want <= 100", c, ok)
+	}
+	got := drain(r, 100)
+	if len(got) != 2 {
+		t.Fatalf("popped %v, want both events", got)
+	}
+}
+
+func TestRingFarOverflow(t *testing.T) {
+	r := NewRing(64) // span rounds to 64: cycle 1000 overflows to the far heap
+	r.Schedule(1000, 1)
+	r.Schedule(2, 2)
+	r.Schedule(5000, 3)
+	if c, ok := r.NextCycle(); !ok || c != 2 {
+		t.Fatalf("NextCycle = %d,%v, want 2", c, ok)
+	}
+	if got := drain(r, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("at 2 popped %v, want [2]", got)
+	}
+	if c, ok := r.NextCycle(); !ok || c != 1000 {
+		t.Fatalf("NextCycle = %d,%v, want 1000", c, ok)
+	}
+	if got := drain(r, 4999); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("at 4999 popped %v, want [1]", got)
+	}
+	if got := drain(r, 5000); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("at 5000 popped %v, want [3]", got)
+	}
+}
+
+// TestRingDifferential drives random schedule/advance traffic through
+// the ring and a flat reference, checking NextCycle exactness and that
+// each advance drains exactly the due multiset (the ring guarantees no
+// order within a drain; the wheel's consumers don't need one).
+func TestRingDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		r := NewRing(128)
+		type ev struct {
+			cycle int64
+			data  uint64
+		}
+		var ref []ev
+		now := int64(0)
+		var data uint64
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) > 0 {
+				// Mostly near-future, sometimes far beyond the span.
+				d := int64(rng.Intn(120)) + 1
+				if rng.Intn(10) == 0 {
+					d += int64(rng.Intn(4000))
+				}
+				data++
+				r.Schedule(now+d, data)
+				ref = append(ref, ev{now + d, data})
+			} else {
+				now += int64(rng.Intn(200)) + 1
+				want := map[uint64]bool{}
+				live := ref[:0]
+				for _, e := range ref {
+					if e.cycle <= now {
+						want[e.data] = true
+					} else {
+						live = append(live, e)
+					}
+				}
+				ref = live
+				got := drain(r, now)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d now %d: drained %d events, want %d", trial, now, len(got), len(want))
+				}
+				for _, d := range got {
+					if !want[d] {
+						t.Fatalf("trial %d now %d: unexpected payload %d", trial, now, d)
+					}
+				}
+				wantNext := int64(-1)
+				for _, e := range ref {
+					if wantNext < 0 || e.cycle < wantNext {
+						wantNext = e.cycle
+					}
+				}
+				c, ok := r.NextCycle()
+				if (wantNext >= 0) != ok || (ok && c != wantNext) {
+					t.Fatalf("trial %d now %d: NextCycle = %d,%v, want %d", trial, now, c, ok, wantNext)
+				}
+				if r.Len() != len(ref) {
+					t.Fatalf("trial %d now %d: Len = %d, want %d", trial, now, r.Len(), len(ref))
+				}
+			}
+		}
+	}
+}

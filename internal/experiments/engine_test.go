@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// The sweeps must render byte-identically no matter which engine runs
+// them and no matter how many workers shard their cells: the wheel is
+// bit-identical to the step oracle per run, each cell is a pure
+// function of its key, and the prewarmers install results into the
+// same memo the serial loop reads.
+
+func TestIFSweepWheelMatchesStep(t *testing.T) {
+	step := mshrRunner()
+	wheel := mshrRunner()
+	wheel.Engine = engine.Wheel
+	want := RenderIFSweep(IFSweep(step))
+	got := RenderIFSweep(IFSweep(wheel))
+	if got != want {
+		t.Fatalf("ifsweep diverged between engines\nstep:\n%s\nwheel:\n%s", want, got)
+	}
+}
+
+func TestMSHRSweepParallelMatchesSerial(t *testing.T) {
+	serial := mshrRunner()
+	par := mshrRunner()
+	par.Engine = engine.Wheel
+	par.Workers = 4
+	want := RenderMSHRSweep(MSHRSweep(serial))
+	got := RenderMSHRSweep(MSHRSweep(par))
+	if got != want {
+		t.Fatalf("mshrsweep diverged under -j 4 wheel\nserial step:\n%s\nparallel wheel:\n%s", want, got)
+	}
+}
+
+func TestIFSweepParallelMatchesSerial(t *testing.T) {
+	serial := mshrRunner()
+	par := mshrRunner()
+	par.Workers = 4
+	want := RenderIFSweep(IFSweep(serial))
+	got := RenderIFSweep(IFSweep(par))
+	if got != want {
+		t.Fatalf("ifsweep diverged under -j 4\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestPFSweepParallelMatchesSerial(t *testing.T) {
+	serial := mshrRunner()
+	par := mshrRunner()
+	par.Engine = engine.Wheel
+	par.Workers = 4
+	want := RenderPFSweep(PFSweep(serial))
+	got := RenderPFSweep(PFSweep(par))
+	if got != want {
+		t.Fatalf("pfsweep diverged under -j 4 wheel\nserial step:\n%s\nparallel wheel:\n%s", want, got)
+	}
+}
+
+// TestEngineBenchSmallShape holds the report generator's shape on a
+// 1-rep run: one row per motionsearch ISA variant plus the golden
+// aggregate, every row with identical cycles under both engines (the
+// generator panics on divergence) and positive timings.
+func TestEngineBenchSmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full-size motionsearch rows twice per engine")
+	}
+	rep := EngineBench(1, nil)
+	if len(rep.Rows) != len(benchVariants)+1 {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(benchVariants)+1)
+	}
+	for _, row := range rep.Rows {
+		if row.Cycles <= 0 || row.StepNs <= 0 || row.WheelNs <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", row.Config, row)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", row.Config, row.Speedup)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dram"
 	"repro/internal/isa"
@@ -43,6 +44,7 @@ type TenantResult struct {
 	Cycles []int64  // tenant i's execution time
 	Shards []dram.TenantStats
 	DRAM   dram.Stats
+	HostNs int64 // wall clock of the lockstep run alone
 }
 
 // SimTenants runs one multi-tenant simulation: mix[i] is tenant i's
@@ -51,6 +53,10 @@ type TenantResult struct {
 // token so the controller shards its stats and, with /qos, schedules
 // per tenant).
 func (r *Runner) SimTenants(mix []string, l2lat int64, spec string) *TenantResult {
+	key := tenantKey(mix, l2lat, spec)
+	if res, ok := r.tenantResults[key]; ok {
+		return res
+	}
 	if r.Progress != nil {
 		r.Progress(SimKey{Bench: strings.Join(mix, "+"), Variant: mom3DVariant,
 			Mem: mom3DVCKind, L2Lat: l2lat, DRAM: spec})
@@ -72,9 +78,11 @@ func (r *Runner) SimTenants(mix []string, l2lat int64, spec string) *TenantResul
 	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend,
 		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
 	g := tenant.New(tenant.Options{Core: cfg, Kind: mom3DVCKind, Tim: tim,
-		Lanes: cfg.Lanes, Traces: traces})
+		Lanes: cfg.Lanes, Traces: traces, Engine: r.Engine})
+	start := time.Now()
 	g.Run()
-	res := &TenantResult{Mix: mix, Cycles: make([]int64, g.N())}
+	res := &TenantResult{Mix: mix, Cycles: make([]int64, g.N()),
+		HostNs: time.Since(start).Nanoseconds()}
 	for i := 0; i < g.N(); i++ {
 		res.Cycles[i] = g.Stats(i).Cycles
 		if ts := g.TenantStatsOf(i); ts != nil {
@@ -85,7 +93,17 @@ func (r *Runner) SimTenants(mix []string, l2lat int64, spec string) *TenantResul
 		sd.Flush()
 	}
 	res.DRAM = *backend.Stats()
+	if r.tenantResults == nil {
+		r.tenantResults = map[string]*TenantResult{}
+	}
+	r.tenantResults[key] = res
 	return res
+}
+
+// tenantKey memoizes multi-tenant runs the way SimKey memoizes
+// single-requestor ones; "+" cannot appear in a benchmark name or spec.
+func tenantKey(mix []string, l2lat int64, spec string) string {
+	return fmt.Sprintf("%s|%d|%s", strings.Join(mix, "+"), l2lat, spec)
 }
 
 // IFSweepRow compares one tenant mix with and without QoS scheduling
@@ -139,6 +157,19 @@ func jain(xs []float64) float64 {
 // scheduling turns and picking ready banks first — without giving the
 // bandwidth back.
 func IFSweep(r *Runner) []IFSweepRow {
+	var solo []SimKey
+	var shared []tenantCell
+	for _, mix := range IFMixes {
+		for _, bench := range mix {
+			solo = append(solo, SimKey{Bench: bench, Variant: mom3DVariant,
+				Mem: mom3DVCKind, L2Lat: baseLat, DRAM: ifBaseSpec})
+		}
+		shared = append(shared,
+			tenantCell{mix: mix, l2lat: baseLat, spec: ifSpec(len(mix), false)},
+			tenantCell{mix: mix, l2lat: baseLat, spec: ifSpec(len(mix), true)})
+	}
+	r.prewarm(solo)
+	r.prewarmTenants(shared)
 	var rows []IFSweepRow
 	for _, mix := range IFMixes {
 		row := IFSweepRow{Mix: mix, Solo: make([]int64, len(mix))}

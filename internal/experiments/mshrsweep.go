@@ -58,6 +58,16 @@ func mshrSpec(profile string, mshrs int) string {
 // instruction's intrinsic line-level parallelism (a dvload spans up to
 // 16 lines) and keeps rising as batches span multiple instructions.
 func MSHRSweep(r *Runner) []MSHRSweepRow {
+	var cells []SimKey
+	for _, bench := range MSHRBenches {
+		for _, prof := range MSHRProfiles {
+			for _, n := range append([]int{0}, MSHRCounts...) {
+				cells = append(cells, SimKey{Bench: bench, Variant: kernels.MOM3D,
+					Mem: mom3DVCKind, L2Lat: baseLat, DRAM: mshrSpec(prof, n)})
+			}
+		}
+	}
+	r.prewarm(cells)
 	var rows []MSHRSweepRow
 	for _, bench := range MSHRBenches {
 		for _, prof := range MSHRProfiles {

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernels"
+)
+
+// This file is the parallel sweep runner: sweeps enumerate their cells
+// up front, a worker pool simulates the not-yet-memoized ones on
+// per-worker runner clones, and the results land in the parent memo in
+// input order. Every cell is a pure function of its key (the simulator
+// is deterministic and each run owns its backend), so the serial sweep
+// that follows reads identical values no matter how the pool scheduled
+// them — tables and -statsjson output stay byte-stable.
+
+// AutoWorkers resolves a -j flag value: 0 asks for one worker per CPU.
+func AutoWorkers(j int) int {
+	if j <= 0 {
+		return runtime.NumCPU()
+	}
+	return j
+}
+
+// child clones the runner for one worker: shared immutable benchmark
+// descriptors, private trace cache and memo, same backend and engine.
+func (r *Runner) child() *Runner {
+	c := &Runner{
+		benches:  make(map[string]kernels.Benchmark, len(r.benches)),
+		results:  map[SimKey]*SimResult{},
+		order:    append([]string(nil), r.order...),
+		DRAMSpec: r.DRAMSpec,
+		Engine:   r.Engine,
+	}
+	for name, bm := range r.benches {
+		c.benches[name] = bm
+	}
+	return c
+}
+
+// prewarm simulates the given cells across r.Workers goroutines and
+// installs the results into the memo, so a sweep's serial loop replays
+// from cache. With Workers <= 1 it is a no-op: the sweep computes each
+// cell lazily, exactly as before the pool existed.
+func (r *Runner) prewarm(cells []SimKey) {
+	if r.Workers <= 1 {
+		return
+	}
+	var todo []SimKey
+	seen := map[SimKey]bool{}
+	for _, k := range cells {
+		if seen[k] || r.results[k] != nil {
+			continue
+		}
+		seen[k] = true
+		todo = append(todo, k)
+		if r.Progress != nil {
+			r.Progress(k)
+		}
+	}
+	if len(todo) < 2 {
+		return
+	}
+	out := make([]*SimResult, len(todo))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(r.Workers, len(todo)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.child()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				k := todo[i]
+				out[i] = c.SimDRAM(k.Bench, k.Variant, k.Mem, k.L2Lat, k.DRAM)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, k := range todo {
+		r.results[k] = out[i]
+	}
+}
+
+// tenantCell is one multi-tenant prewarm request.
+type tenantCell struct {
+	mix   []string
+	l2lat int64
+	spec  string
+}
+
+// prewarmTenants is prewarm for the multi-tenant cells of the
+// interference sweep.
+func (r *Runner) prewarmTenants(cells []tenantCell) {
+	if r.Workers <= 1 {
+		return
+	}
+	var todo []tenantCell
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := tenantKey(c.mix, c.l2lat, c.spec)
+		if seen[k] || r.tenantResults[k] != nil {
+			continue
+		}
+		seen[k] = true
+		todo = append(todo, c)
+		if r.Progress != nil {
+			r.Progress(SimKey{Bench: strings.Join(c.mix, "+"), Variant: mom3DVariant,
+				Mem: mom3DVCKind, L2Lat: c.l2lat, DRAM: c.spec})
+		}
+	}
+	if len(todo) < 2 {
+		return
+	}
+	out := make([]*TenantResult, len(todo))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(r.Workers, len(todo)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.child()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				t := todo[i]
+				out[i] = c.SimTenants(t.mix, t.l2lat, t.spec)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.tenantResults == nil {
+		r.tenantResults = map[string]*TenantResult{}
+	}
+	for i, t := range todo {
+		r.tenantResults[tenantKey(t.mix, t.l2lat, t.spec)] = out[i]
+	}
+}

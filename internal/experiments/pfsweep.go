@@ -75,6 +75,16 @@ func pfSpec(profile string, streams, degree int) string {
 // and the off column doubles as the equivalence anchor (it must match
 // the plain mshr64 configuration exactly).
 func PFSweep(r *Runner) []PFSweepRow {
+	var cells []SimKey
+	for _, bench := range PFBenches {
+		for _, prof := range PFProfiles {
+			for _, c := range PFConfigs {
+				cells = append(cells, SimKey{Bench: bench, Variant: kernels.MOM3D,
+					Mem: mom3DVCKind, L2Lat: baseLat, DRAM: pfSpec(prof, c.Streams, c.Degree)})
+			}
+		}
+	}
+	r.prewarm(cells)
 	var rows []PFSweepRow
 	for _, bench := range PFBenches {
 		for _, prof := range PFProfiles {

@@ -96,6 +96,23 @@ func (r *RPSweepRow) Traffic() string {
 // closing the PR 4 motionsearch/ddr regression with gsmencode's
 // bandwidth intact.
 func RPSweep(r *Runner) []RPSweepRow {
+	var cells []SimKey
+	for _, bench := range RPBenches {
+		for _, prof := range RPProfiles {
+			name := prof
+			if name == "" {
+				name = "ddr"
+			}
+			pfStreams, pfDegree := rpPFShape(bench, name)
+			for _, shape := range [][2]int{{0, 0}, {pfStreams, pfDegree}} {
+				for _, rp := range RPPolicies {
+					cells = append(cells, SimKey{Bench: bench, Variant: kernels.MOM3D,
+						Mem: mom3DVCKind, L2Lat: baseLat, DRAM: rpSpec(prof, shape[0], shape[1], rp)})
+				}
+			}
+		}
+	}
+	r.prewarm(cells)
 	var rows []RPSweepRow
 	for _, bench := range RPBenches {
 		for _, prof := range RPProfiles {

@@ -6,9 +6,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/kernels"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,6 +46,11 @@ type SimResult struct {
 	// (core.*, cache.*, vmem.*, dram.*). The struct copies above remain
 	// for the figure builders; exporters should prefer the snapshot.
 	Snap stats.Snapshot
+
+	// HostNs is the wall-clock cost of the simulation loop alone (trace
+	// generation and stat collection excluded). It is NOT part of Snap:
+	// the golden-matrix snapshots must stay byte-stable across hosts.
+	HostNs int64
 }
 
 // Cycles is shorthand for the simulated execution time.
@@ -68,6 +75,17 @@ type Runner struct {
 	// caller overrides it with SimDRAM: "" (the seed's flat latency),
 	// "fixed", or "sdram/<mapping>/<scheduler>".
 	DRAMSpec string
+
+	// Engine selects the simulation engine for every run: the per-cycle
+	// oracle (the zero value) or the event-wheel engine. Results are
+	// bit-identical either way; only HostNs changes.
+	Engine engine.Mode
+
+	// Workers caps the goroutines the sweep prewarmers fan cells across;
+	// 0 or 1 keeps every sweep serial.
+	Workers int
+
+	tenantResults map[string]*TenantResult
 }
 
 type tracePair struct {
@@ -183,7 +201,9 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	// the L1 data cache ports (there is no vector subsystem to bank).
 	bankL1 := v == kernels.MMX && mem != core.MemIdeal
 	ms := core.NewMemSystem(mem, tim, cfg.Lanes, bankL1)
-	st := core.Simulate(cfg, ms, tp.tr.Insts)
+	start := time.Now()
+	st := core.SimulateMode(cfg, ms, tp.tr.Insts, r.Engine)
+	hostNs := time.Since(start).Nanoseconds()
 	res := &SimResult{
 		Key:      key,
 		Core:     st,
@@ -208,8 +228,30 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	st.Register(reg)
 	ms.Register(reg)
 	res.Snap = reg.Snapshot()
+	res.HostNs = hostNs
 	r.results[key] = res
 	return res
+}
+
+// HostPerf sums the simulation wall clock and simulated cycles across
+// every memoized run — single-requestor and multi-tenant — for the
+// front end's host-performance summary line. Multi-tenant runs count
+// the slowest tenant's cycles: the group runs in lockstep, so that is
+// the simulated time the host paid for.
+func (r *Runner) HostPerf() (ns, cycles int64) {
+	for _, res := range r.results {
+		ns += res.HostNs
+		cycles += res.Core.Cycles
+	}
+	for _, res := range r.tenantResults {
+		ns += res.HostNs
+		var maxCyc int64
+		for _, c := range res.Cycles {
+			maxCyc = max(maxCyc, c)
+		}
+		cycles += maxCyc
+	}
+	return ns, cycles
 }
 
 // Convenience configuration accessors used by the figures.

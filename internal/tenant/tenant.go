@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/vmem"
@@ -41,6 +42,7 @@ type Options struct {
 	Lanes  int
 	BankL1 bool
 	Traces [][]isa.Inst
+	Engine engine.Mode // simulation engine; Wheel skips rounds no tenant can act in
 }
 
 // Group is M core simulators in lockstep over one shared memory system.
@@ -48,6 +50,7 @@ type Group struct {
 	mems  []*core.MemSystem
 	sims  []*core.Sim
 	stats []*core.Stats
+	wheel bool
 	done  bool
 }
 
@@ -68,6 +71,12 @@ func New(o Options) *Group {
 	}
 	for i := range o.Traces {
 		g.sims[i] = core.NewSim(o.Core, g.mems[i], rebase(o.Traces[i], i))
+	}
+	if o.Engine == engine.Wheel {
+		g.wheel = true
+		for _, s := range g.sims {
+			s.SetEngine(engine.Wheel)
+		}
 	}
 	return g
 }
@@ -110,12 +119,45 @@ func (g *Group) Run() {
 		if !any {
 			break
 		}
+		if g.wheel {
+			g.skipRound()
+		}
 	}
 	for i, s := range g.sims {
 		g.stats[i] = s.Finish()
 	}
 	g.mems[0].Drain()
 	g.done = true
+}
+
+// skipRound advances the whole group past cycles no tenant can act in:
+// the lockstep barrier becomes an event — the group jumps to the
+// EARLIEST wake-up any running tenant reports, and every running clock
+// jumps together, so the within-cycle tenant ordering (and with it the
+// shared-structure interleaving) is untouched. Each tenant's wake-up
+// is sound against the shared memory system because contention only
+// pushes completion bounds later, never earlier, and a skipped
+// tenant's lazy-poll cycles are exactly the ones its own bound proves
+// unobservable.
+func (g *Group) skipRound() {
+	t := int64(-1)
+	for _, s := range g.sims {
+		if !s.Running() {
+			continue
+		}
+		w := s.NextWake()
+		if t < 0 || w < t {
+			t = w
+		}
+	}
+	if t < 0 {
+		return
+	}
+	for _, s := range g.sims {
+		if s.Running() {
+			s.SkipTo(t)
+		}
+	}
 }
 
 // N is the tenant count.

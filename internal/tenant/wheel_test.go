@@ -1,0 +1,73 @@
+package tenant_test
+
+// Wheel-vs-step equivalence for the multi-tenant front end: the
+// event-wheel group — which replaces the per-cycle lockstep barrier
+// with a jump to the earliest wake-up any tenant reports — must
+// reproduce the per-cycle group's every counter bit for bit: per-tenant
+// core stats, per-tenant vector-memory stats, the shared backend block
+// and the per-tenant backend shards.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/tenant"
+)
+
+func TestWheelMatchesStepTenants(t *testing.T) {
+	ms := kernels.MotionSearch(kernels.SmallMotionSearchConfig())
+	gsm := kernels.GSMEncode(kernels.SmallGSMEncConfig())
+	jpg := kernels.JPEGEncode(kernels.SmallJPEGEncConfig())
+
+	cases := []struct {
+		name   string
+		traces [][]isa.Inst
+		spec   string
+	}{
+		{"2x-motionsearch", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(ms, kernels.MOM3D)}, "sdram/line/frfcfs"},
+		{"mixed-2", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/line/frfcfs/mshr8"},
+		{"mixed-3-pf", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D), traceOf(jpg, kernels.MOM3D)}, "sdram/line/frfcfs/mshr8/pf4"},
+		{"qos-2", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/line/frfcfs/tn2/qos"},
+		{"hbm-2", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/line/frfcfs/hbm"},
+	}
+	for _, tc := range cases {
+		cfg := core.MOMCore()
+		run := func(mode engine.Mode) *tenant.Group {
+			g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D,
+				Tim: timingFor(t, tc.spec), Lanes: cfg.Lanes,
+				Traces: tc.traces, Engine: mode})
+			g.Run()
+			return g
+		}
+		step := run(engine.Step)
+		wheel := run(engine.Wheel)
+		for i := 0; i < step.N(); i++ {
+			key := fmt.Sprintf("%s/%s tenant %d", tc.name, tc.spec, i)
+			if !reflect.DeepEqual(*step.Stats(i), *wheel.Stats(i)) {
+				t.Errorf("%s: core stats diverged\n  step  %+v\n  wheel %+v",
+					key, *step.Stats(i), *wheel.Stats(i))
+			}
+			if !reflect.DeepEqual(*step.Mem(i).VM.Stats(), *wheel.Mem(i).VM.Stats()) {
+				t.Errorf("%s: vmem stats diverged", key)
+			}
+			ss, ws := step.TenantStatsOf(i), wheel.TenantStatsOf(i)
+			if (ss == nil) != (ws == nil) {
+				t.Fatalf("%s: shard presence diverged", key)
+			}
+			if ss != nil && !reflect.DeepEqual(*ss, *ws) {
+				t.Errorf("%s: backend shard diverged\n  step  %+v\n  wheel %+v", key, *ss, *ws)
+			}
+		}
+		sb := step.Mem(0).Tim.Backend
+		wb := wheel.Mem(0).Tim.Backend
+		if sb != nil && !reflect.DeepEqual(*sb.Stats(), *wb.Stats()) {
+			t.Errorf("%s/%s: shared backend stats diverged\n  step  %+v\n  wheel %+v",
+				tc.name, tc.spec, *sb.Stats(), *wb.Stats())
+		}
+	}
+}

@@ -698,6 +698,34 @@ func (p *Pending) ReadyBy(now int64) bool {
 	return p.force() <= now
 }
 
+// Bound returns a conservative lower bound on the completion cycle
+// and whether that bound is exact. It mirrors ReadyBy's arithmetic —
+// for an unresolved handle the bound is the first cycle a ReadyBy
+// poll would force a flush — but never flushes or resolves anything,
+// so the event-wheel engine can schedule wake-ups off it without
+// perturbing batch accumulation.
+func (p *Pending) Bound() (int64, bool) {
+	if p == nil {
+		return 0, true
+	}
+	if p.resolved {
+		return p.done, true
+	}
+	lb := p.base
+	exact := true
+	for _, e := range p.entries {
+		t := e.done
+		if !e.resolved {
+			exact = false
+			t = e.at + p.file.minLat
+		}
+		if t > lb {
+			lb = t
+		}
+	}
+	return lb, exact
+}
+
 // Done forces resolution and returns the exact completion cycle.
 func (p *Pending) Done() int64 {
 	if p == nil {
