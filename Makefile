@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench wheel rpsweep ifsweep enginebench stats trace tenants fmt-check vet
+.PHONY: verify build test test-race bench wheel rpsweep ifsweep vasweep enginebench stats trace tenants fmt-check vet
 
 # J is the sweep parallelism the sweep targets pass to momexp; override
 # with `make rpsweep J=1` to force a serial run.
@@ -73,6 +73,13 @@ rpsweep:
 # under plain FR-FCFS, and shared under QoS credit scheduling.
 ifsweep:
 	go run ./cmd/momexp -ifsweep -engine wheel -j $(J) -q
+
+# vasweep regenerates the placement-policy × kernel-mix matrix under
+# address translation (EXPERIMENTS.md's reference table): every
+# interference mix under first-fit, page coloring and co-location on
+# the banked part, where each 4 KiB page maps wholly to one channel.
+vasweep:
+	go run ./cmd/momexp -vasweep -engine wheel -j $(J) -q
 
 # enginebench measures wheel-vs-step host throughput on the full-size
 # motionsearch HBM rows and the golden matrix, writing BENCH_PR8.json.

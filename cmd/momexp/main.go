@@ -13,6 +13,7 @@
 //	momexp -pfsweep     the stream-prefetcher sweep over the streaming kernels
 //	momexp -rpsweep     the per-bank row-policy sweep (open/close/timer/history)
 //	momexp -ifsweep     the multi-tenant interference sweep (FR-FCFS vs QoS)
+//	momexp -vasweep     the placement-policy × mix matrix under address translation
 //	momexp -latdist     the ddr-vs-hbm read-latency distribution table
 //	momexp -statsjson BENCH_PR6.json  write the golden-matrix registry snapshots as JSON
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
@@ -41,6 +42,7 @@ func main() {
 	pfsweep := flag.Bool("pfsweep", false, "print only the stream-prefetcher sweep (streaming kernels)")
 	rpsweep := flag.Bool("rpsweep", false, "print only the per-bank row-policy sweep (streaming kernels)")
 	ifsweep := flag.Bool("ifsweep", false, "print only the multi-tenant interference sweep (FR-FCFS vs QoS scheduling)")
+	vasweep := flag.Bool("vasweep", false, "print only the placement-policy × kernel-mix matrix under virtual address translation")
 	latdist := flag.Bool("latdist", false, "print only the ddr-vs-hbm read-latency distribution table")
 	statsjson := flag.String("statsjson", "", "write the golden-matrix registry snapshots to this file as JSON and exit")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
@@ -57,6 +59,7 @@ func main() {
 	pf := flag.Int("pf", 0, "stream-prefetcher stream-table entries (0 = off; needs -mshr >= 2)")
 	pfd := flag.Int("pfd", 0, "stream-prefetcher degree: lines kept in flight per stream (0 = default 4)")
 	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
+	va := flag.String("va", "", "virtual address translation with this placement policy for all simulations: first, color, colo (needs -dram)")
 	engineName := flag.String("engine", "", "simulation engine for every run: step (per-cycle oracle) or wheel (event-driven, bit-identical)")
 	jWorkers := flag.Int("j", 0, "worker goroutines the sweeps shard cells across (0 = one per CPU, 1 = serial)")
 	enginebench := flag.String("enginebench", "", "measure wheel-vs-step host throughput and write the report to this file as JSON")
@@ -80,7 +83,7 @@ func main() {
 	}
 	// Reject explicitly-set knobs the chosen backend would silently
 	// ignore (shared policy with momsim).
-	dramKnobSet, dramSet, mshrSet, pfSet := false, false, false, false
+	dramKnobSet, dramSet, mshrSet, pfSet, vaSet := false, false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "dmap", "dsched", "dprof", "dchan", "dwq", "dwql", "dwqi", "dwin", "rp", "pfq":
@@ -91,8 +94,20 @@ func main() {
 			mshrSet = true
 		case "pf", "pfd":
 			pfSet = true
+		case "va":
+			vaSet = true
 		}
 	})
+	switch *va {
+	case "", "first", "color", "colo":
+	default:
+		fmt.Fprintf(os.Stderr, "momexp: unknown placement policy %q (want first, color, colo)\n", *va)
+		os.Exit(2)
+	}
+	if vaSet && *dramName == "" {
+		fmt.Fprintln(os.Stderr, "momexp: -va requires -dram fixed or -dram sdram")
+		os.Exit(2)
+	}
 	if err := dram.ValidateFlagCombo(*dramName, dramKnobSet, false); err != nil {
 		fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
 		os.Exit(2)
@@ -109,35 +124,39 @@ func main() {
 	}
 	// The sweeps cross their own backend configurations; explicit dram
 	// flags would be silently ignored there, so reject the combination.
-	if *dramsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *dramsweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -dramsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *mshrsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *mshrsweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -mshrsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *pfsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *pfsweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -pfsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *rpsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *rpsweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -rpsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-rp/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *ifsweep && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *ifsweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -ifsweep compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *latdist && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *vasweep && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -vasweep compares its own placement policies; drop -dram/-dmap/-dsched/-mshr/-pf/-va")
+		os.Exit(2)
+	}
+	if *latdist && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -latdist compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *statsjson != "" && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *statsjson != "" && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -statsjson runs the pinned golden matrix; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
-	if *enginebench != "" && (dramSet || dramKnobSet || mshrSet || pfSet) {
+	if *enginebench != "" && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -enginebench compares the engines on its own configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
@@ -158,7 +177,7 @@ func main() {
 		}
 		knobs := dram.Knobs{Channels: *dchan, WQDrain: *dwq, Window: *dwin,
 			WQLow: *dwql, WQIdle: int64(*dwqi), MSHRs: *mshr,
-			PFStreams: *pf, PFDegree: *pfd, PFQ: *pfq, RP: rpSpec}
+			PFStreams: *pf, PFDegree: *pfd, PFQ: *pfq, RP: rpSpec, VA: *va}
 		// One build call validates backend kind, mapping, scheduler,
 		// profile and knobs; the runner would only panic on a bad spec
 		// much later.
@@ -230,6 +249,8 @@ func main() {
 		fmt.Print(experiments.RenderRPSweep(experiments.RPSweep(r)))
 	case *ifsweep:
 		fmt.Print(experiments.RenderIFSweep(experiments.IFSweep(r)))
+	case *vasweep:
+		fmt.Print(experiments.RenderVASweep(experiments.VASweep(r)))
 	case *latdist:
 		fmt.Print(experiments.RenderLatDist(experiments.LatDist(r)))
 	case *fig != 0:

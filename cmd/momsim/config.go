@@ -9,6 +9,7 @@ import (
 	"repro/internal/dram/policy"
 	"repro/internal/engine"
 	"repro/internal/kernels"
+	"repro/internal/vm"
 	"repro/internal/vmem"
 )
 
@@ -45,6 +46,10 @@ type options struct {
 	Tenants int
 	QoS     bool
 
+	// VA turns on per-requestor virtual address translation and names
+	// the physical placement policy: first, color, colo ("" = off).
+	VA string
+
 	// Observability outputs: Trace writes a Chrome trace-event JSON
 	// file (TraceBuf sizes the event ring; 0 = default), StatsJSON
 	// writes the registry snapshot.
@@ -72,6 +77,7 @@ type runConfig struct {
 	Tenants int         // concurrent requestors (1 = single-requestor path)
 	QoS     bool        // per-tenant credit scheduling in the sdram controller
 	Engine  engine.Mode // per-cycle oracle or the event-wheel engine
+	VM      *vm.VM      // address-translation layer (nil = translation off)
 
 	Trace     string // Chrome trace-event JSON output path ("" = off)
 	StatsJSON string // registry-snapshot JSON output path ("" = off)
@@ -125,6 +131,14 @@ func resolve(o options) (runConfig, error) {
 	if err != nil {
 		return rc, err
 	}
+	if o.VA != "" {
+		if memKind == core.MemIdeal {
+			return rc, fmt.Errorf("-va translates the cache-hierarchy access path; it has no effect with -mem ideal")
+		}
+		if rc.VM, err = core.NewVM(o.VA, o.Tenants, backend); err != nil {
+			return rc, err
+		}
+	}
 	if memKind == core.MemIdeal && o.MSHR != 0 {
 		return rc, fmt.Errorf("-mshr needs a cache hierarchy; it has no effect with -mem ideal")
 	}
@@ -152,6 +166,11 @@ func resolve(o options) (runConfig, error) {
 	rc.MemKind = memKind
 	rc.Timing = vmem.Timing{L2Latency: o.L2Lat, MemLatency: o.MemLat, Backend: backend,
 		MSHRs: o.MSHR, PFStreams: o.PF, PFDegree: o.PFD}
+	if rc.VM != nil && o.Tenants == 1 {
+		// The multi-tenant path hands the VM to the tenant group instead,
+		// which wires Space(i) into tenant i's Timing view.
+		rc.Timing.VA = rc.VM.Space(0)
+	}
 	rc.Tenants, rc.QoS = o.Tenants, o.QoS
 	rc.Trace, rc.StatsJSON, rc.TraceBuf = o.Trace, o.StatsJSON, o.TraceBuf
 	return rc, nil

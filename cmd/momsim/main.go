@@ -33,6 +33,16 @@
 // after N deferral-free cycles so phased workloads recover full
 // FR-FCFS standing for speculative reads.
 //
+// Address translation: -va <policy> gives every requestor its own
+// virtual address space over one shared physical pool — multi-level
+// page tables walked on TLB misses (a private L1 TLB per requestor
+// over a shared L2 TLB), with the miss and walk latency charged as
+// issue-stage stalls. The policy names how the buddy allocator places
+// pages: first (first-fit), color (round-robin a tenant's pages across
+// DRAM channels) or colo (pack each tenant contiguously for row-hit
+// locality). With -tenants the spaces replace the address-window
+// rebasing, so isolation comes from the page tables themselves.
+//
 // Observability: -statsjson <file> dumps every registered counter and
 // histogram as deterministic JSON (the internal/stats registry
 // snapshot); -trace <file> writes a cycle-stamped Chrome trace-event
@@ -80,6 +90,7 @@ func main() {
 	pfq := flag.Int("pfq", 0, "sdram per-channel cap on prefetch reads in flight (0 = half the read queue)")
 	pfdecay := flag.Int("pfdecay", 0, "sdram demand-first latch decay: deferral-free cycles before speculative reads regain FR-FCFS standing (0 = sticky latch)")
 	tenants := flag.Int("tenants", def.Tenants, "concurrent requestors sharing L2/MSHR/DRAM, each running its own instance of the kernel (1 = single-requestor simulator)")
+	va := flag.String("va", "", "per-requestor virtual address translation with this placement policy: first, color, colo (default: translation off)")
 	qos := flag.Bool("qos", false, "per-tenant credit scheduling in the sdram channel scheduler (needs -tenants >= 2)")
 	l2lat := flag.Int64("l2", def.L2Lat, "L2 cache latency in cycles")
 	memLat := flag.Int64("mlat", def.MemLat, "fixed backend: main memory latency beyond L2 in cycles")
@@ -113,7 +124,7 @@ func main() {
 		DRAM: *dramName, DMap: *dmap, DSched: *dsched, DProf: *dprof, RP: *rp,
 		DChan: *dchan, DWQ: *dwq, DWQL: *dwql, DWQI: *dwqi, DWin: *dwin,
 		MSHR: *mshr, PF: *pf, PFD: *pfd, PFQ: *pfq, PFDec: *pfdecay,
-		Tenants: *tenants, QoS: *qos,
+		Tenants: *tenants, QoS: *qos, VA: *va,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare, Engine: *engineName,
 		Trace: *traceFile, StatsJSON: *statsFile, TraceBuf: *traceBuf,
 	})
@@ -233,6 +244,16 @@ func main() {
 			}
 		}
 	}
+	if sp := ms.Tim.VA; sp != nil {
+		ss := sp.Stats()
+		vts, vws := sp.VM().TLBStats(), sp.VM().WalkStats()
+		fmt.Printf("vm (%s placement): %d pages mapped, L1 TLB %d hit / %d miss, L2 TLB %d hit / %d miss, %d walks (%d coalesced), %d demand faults\n",
+			sp.VM().Config().Policy, ss.PagesMapped, ss.L1Hits, ss.L1Misses,
+			vts.L2Hits, vts.L2Misses, vws.Walks, vws.Coalesced, ss.Faults)
+		if vws.Latency.Count() > 0 {
+			fmt.Printf("vm walk latency: %s\n", vws.Latency)
+		}
+	}
 	if rc.MemKind != core.MemIdeal {
 		bd := power.Estimate(power.DefaultParams(), st.Cycles, vs, ms.ScalarL2Accesses, tst.D3MoveElems)
 		fmt.Printf("memory subsystem power: %.2f W (L2 %.2f, 3D RF %.3f)\n", bd.Total(), bd.L2Watts, bd.D3Watts)
@@ -286,7 +307,7 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 	g := tenant.New(tenant.Options{
 		Core: rc.Core, Kind: rc.MemKind, Tim: rc.Timing, Lanes: rc.Core.Lanes,
 		BankL1: rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal,
-		Traces: traces, Engine: rc.Engine,
+		Traces: traces, Engine: rc.Engine, VM: rc.VM,
 	})
 	var tracer *stats.Tracer
 	if rc.Trace != "" {
@@ -322,6 +343,11 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 				fmt.Printf("  dram read latency: %s\n", ts.ReadLatency)
 			}
 		}
+		if sp := g.Mem(i).Tim.VA; sp != nil {
+			ss := sp.Stats()
+			fmt.Printf("  vm: %d pages mapped, L1 TLB %d hit / %d miss, %d demand faults\n",
+				ss.PagesMapped, ss.L1Hits, ss.L1Misses, ss.Faults)
+		}
 	}
 	fmt.Println()
 	fmt.Print(tst.String())
@@ -339,6 +365,11 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 		if ds.DemandFirstLapses > 0 {
 			fmt.Printf("dram demand-first latch: %d decay lapses\n", ds.DemandFirstLapses)
 		}
+	}
+	if rc.VM != nil {
+		vts, vws := rc.VM.TLBStats(), rc.VM.WalkStats()
+		fmt.Printf("\nvm (%s placement, shared): L2 TLB %d hit / %d miss, %d walks (%d coalesced), %d free pages\n",
+			rc.VM.Config().Policy, vts.L2Hits, vts.L2Misses, vws.Walks, vws.Coalesced, rc.VM.FreePages())
 	}
 
 	if rc.StatsJSON != "" {

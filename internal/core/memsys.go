@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/isa"
+	"repro/internal/vm"
 	"repro/internal/vmem"
 )
 
@@ -69,6 +70,10 @@ type MemSystem struct {
 func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSystem {
 	m := &MemSystem{Kind: kind, Tim: tim}
 	if kind == MemIdeal {
+		// The ideal memory bypasses the cache hierarchy the translation
+		// layer models; the CLIs reject -va with ideal memory, and the
+		// guard keeps a stray space from charging stalls here.
+		m.Tim.VA = nil
 		m.VM = vmem.NewIdeal()
 		return m
 	}
@@ -118,16 +123,30 @@ func NewMemSystem(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool) *MemSys
 // on the opaque ID path all the way into the backend. Tenant 0's view
 // is constructed by NewMemSystem itself, so a 1-tenant system is the
 // single-requestor system, bit for bit.
-func NewTenantMemSystems(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool, n int) []*MemSystem {
+//
+// vmsys, when non-nil, gives tenant i the virtual address space
+// vmsys.Space(i): real per-tenant address spaces over one shared
+// physical pool, replacing the tenant<<32 window rebasing.
+func NewTenantMemSystems(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool, n int, vmsys *vm.VM) []*MemSystem {
 	if n < 1 {
 		panic("core: tenant count must be at least 1")
+	}
+	if vmsys != nil {
+		if vmsys.N() < n {
+			panic(fmt.Sprintf("core: %d tenants over a %d-space VM", n, vmsys.N()))
+		}
+		tim.VA = vmsys.Space(0)
 	}
 	mems := make([]*MemSystem, n)
 	mems[0] = NewMemSystem(kind, tim, lanes, bankL1)
 	for i := 1; i < n; i++ {
 		m := &MemSystem{Kind: kind, Tim: mems[0].Tim}
 		m.Tim.Tenant = i
+		if vmsys != nil {
+			m.Tim.VA = vmsys.Space(i)
+		}
 		if kind == MemIdeal {
+			m.Tim.VA = nil
 			m.VM = vmem.NewIdeal()
 			mems[i] = m
 			continue
@@ -150,6 +169,25 @@ func NewTenantMemSystems(kind MemKind, tim vmem.Timing, lanes int, bankL1 bool, 
 	return mems
 }
 
+// NewVM builds the address-translation layer for n requestors: the
+// default 4-level/4 KiB configuration under the named placement policy
+// ("first", "color" or "colo"), colored by the backend's channel
+// decode when it exposes one (the SDRAM controller does; the flat
+// backend degrades coloring to first-fit).
+func NewVM(policy string, n int, backend dram.Backend) (*vm.VM, error) {
+	pol, err := vm.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Policy = pol
+	var cm vm.ChannelMapper
+	if sd, ok := backend.(vm.ChannelMapper); ok {
+		cm = sd
+	}
+	return vm.New(cfg, n, cm), nil
+}
+
 // ScalarAccess schedules one scalar or μSIMD memory access issued at
 // cycle t. The int64 is the cycle the access clears the L1/L2 pipeline
 // (final for hits and stores); the Pending handle, when non-nil,
@@ -158,8 +196,11 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	if m.Kind == MemIdeal {
 		return t + 1, nil
 	}
+	// The whole scalar access (at most 8 bytes on this path) translates
+	// by its first byte; the issue stage already charged any TLB stall.
+	addr := m.Tim.Xl(in.Addr)
 	if m.l1Banks != nil {
-		bank := (in.Addr >> 3) % uint64(len(m.l1Banks))
+		bank := (addr >> 3) % uint64(len(m.l1Banks))
 		if m.l1Banks[bank] > t {
 			t = m.l1Banks[bank]
 		}
@@ -167,21 +208,21 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	}
 	if in.IsStore {
 		// Write-through, no-allocate; the write buffer hides latency.
-		m.L1.Access(in.Addr, true, false)
+		m.L1.Access(addr, true, false)
 		return t + 1, nil
 	}
-	if m.L1.Access(in.Addr, false, false).Hit {
+	if m.L1.Access(addr, false, false).Hit {
 		return t + m.L1.Config().Latency, nil
 	}
 	m.ScalarL2Accesses++
 	done := t + m.L1.Config().Latency + m.Tim.L2Latency
-	res := m.L2.Access(in.Addr, false, true)
+	res := m.L2.Access(addr, false, true)
 	if res.Hit {
 		if res.Prefetched {
 			// The line was prefetched: the load may still be waiting on
 			// the in-flight fill, and the touch trains the stream table.
 			m.scalarPF = append(m.scalarPF[:0],
-				vmem.PFTouch{Line: m.L2.LineAddr(in.Addr), At: done})
+				vmem.PFTouch{Line: m.L2.LineAddr(addr), At: done})
 			return m.Tim.Complete(nil, m.scalarPF, done)
 		}
 		return done, nil
@@ -190,7 +231,7 @@ func (m *MemSystem) ScalarAccess(in *isa.Inst, t int64) (int64, *vmem.Pending) {
 	// by the fill rides along as a posted write-back that never
 	// gates the load.
 	m.scalarBatch = m.scalarBatch[:0]
-	m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: in.Addr, At: done})
+	m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: addr, At: done})
 	if res.Writeback && m.Tim.Backend != nil {
 		m.scalarBatch = append(m.scalarBatch, dram.Request{Addr: res.VictimAddr, Write: true, At: done})
 	}

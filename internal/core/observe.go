@@ -13,6 +13,8 @@ package core
 //	vmem.mshr.*     MSHR file counters + the miss-to-fill histogram
 //	vmem.prefetch.* stream prefetcher counters
 //	dram.*          main-memory counters + read wait/service histograms
+//	vm.tlb.*        TLB counters (l1_* private, l2_* shared) + paging
+//	vm.walk.*       page-table walk counters + walk-latency histogram
 //
 // TestRegistryCoversAllStats (internal/stats) reflects over the Stats
 // types and fails if a field ever goes unregistered, so the scheme
@@ -53,6 +55,15 @@ func (m *MemSystem) Register(reg *stats.Registry) {
 	if b := m.DRAM(); b != nil {
 		reg.AddStruct("dram", b.Stats())
 	}
+	if sp := m.Tim.VA; sp != nil {
+		// Single-requestor view: the shared L2 TLB/walk counters and
+		// this space's private L1/fault counters share the vm.tlb
+		// prefix (the field names split l1_* from l2_*). Multi-tenant
+		// registration lives in internal/tenant, which prefixes each
+		// space with its tenant name.
+		sp.VM().RegisterShared(reg)
+		sp.Register(reg, "vm.tlb")
+	}
 }
 
 // AttachTracer fans one event tracer out to every subsystem with trace
@@ -64,5 +75,8 @@ func (m *MemSystem) AttachTracer(tr *stats.Tracer) {
 	}
 	if f := m.MSHR(); f != nil {
 		f.SetTracer(tr)
+	}
+	if sp := m.Tim.VA; sp != nil {
+		sp.VM().SetTracer(tr)
 	}
 }

@@ -158,6 +158,13 @@ type Sim struct {
 	// is the earliest cycle a busy unit frees for a ready entry.
 	issueNoSkip    bool
 	issueUnitBound int64
+	// xlatWake is the walk-completion cycle of the memory entry the
+	// issue scan just refused for address translation (vm.Space.Ready
+	// in the future). noteRefusal folds it into issueUnitBound — the
+	// translation resolves at a fixed cycle, so the wheel may sleep
+	// until then — and clears it so a later refusal in the same scan
+	// cannot misread it.
+	xlatWake int64
 	// robMask is Window-1 when Window is a power of two, letting
 	// entry() mask instead of divide on the hottest path; 0 otherwise.
 	robMask uint64
@@ -476,12 +483,32 @@ func (s *Sim) issue() {
 			return s.now + 2, true
 		}
 		if e.in.Kind.IsVectorMem() {
+			// Address translation gates issue: every page the access
+			// touches must resolve before the subsystem may fire. The
+			// stall is an idempotent transaction keyed by seq, so the
+			// per-cycle retries here and the wheel's sparse retries
+			// leave identical TLB state (see internal/vm).
+			if sp := s.mem.Tim.VA; sp != nil {
+				if until := sp.Ready(e.in, e.seq, s.now); until > s.now {
+					s.xlatWake = until
+					return 0, false
+				}
+			}
 			done, pend := s.mem.VM.Issue(e.in, s.now)
 			e.pend = pend
 			return done, true
 		}
 		if l1Used >= s.cfg.L1Ports {
 			return 0, false
+		}
+		// Translation after the port check: a translation-stalled access
+		// holds no L1 port, and once both pass the access always issues,
+		// so the transaction retires exactly once.
+		if sp := s.mem.Tim.VA; sp != nil {
+			if until := sp.Ready(e.in, e.seq, s.now); until > s.now {
+				s.xlatWake = until
+				return 0, false
+			}
 		}
 		l1Used++
 		done, pend := s.mem.ScalarAccess(e.in, s.now)

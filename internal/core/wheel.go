@@ -197,6 +197,15 @@ func (s *Sim) noteRefusal(q queue, e *robEntry) {
 		if s.moverBusyUntil < s.issueUnitBound {
 			s.issueUnitBound = s.moverBusyUntil
 		}
+	case q == qMem && s.xlatWake > s.now:
+		// A translation stall: the TLB miss resolves at a fixed walk
+		// (or L2 TLB) completion cycle, so the entry needs no per-cycle
+		// re-check — sleeping until the bound is sound because a
+		// transaction's ready cycle never moves earlier.
+		if s.xlatWake < s.issueUnitBound {
+			s.issueUnitBound = s.xlatWake
+		}
+		s.xlatWake = 0
 	default:
 		s.issueNoSkip = true
 	}

@@ -170,6 +170,12 @@ type Stats struct {
 	DemandFirstLapses uint64
 	QoSDeferred       uint64
 
+	// TenantMisroute counts requests whose ID carried a tenant tag
+	// outside the allocated stat-shard range. Such requests are still
+	// serviced normally but recorded in no shard — routing them into a
+	// wrapped shard index would corrupt another tenant's accounting.
+	TenantMisroute uint64
+
 	// Row-policy accounting (internal/dram/policy): RowClosedEarly
 	// counts rows a policy precharged before a conflict or refresh
 	// would have (auto-precharge closes and fired idle timers);
@@ -368,8 +374,7 @@ func (f *Fixed) Submit(batch []Request) []Completion {
 			f.st.ReadWait.Observe(0)
 			f.st.ReadService.Observe(f.Latency)
 		}
-		if len(f.tst) > 0 {
-			ts := &f.tst[TenantOf(r.ID)%len(f.tst)]
+		if ts := shardFor(f.tst, r.ID, &f.st); ts != nil {
 			ts.Bytes += uint64(f.lineBytes)
 			if r.Write {
 				ts.Writes++

@@ -383,6 +383,19 @@ func (s *SDRAM) WriteRoom(addr uint64) bool {
 // Config returns the controller's configuration.
 func (s *SDRAM) Config() Config { return s.cfg }
 
+// ChannelOf exposes the channel a physical address decodes to under
+// the configured mapping; ChannelCount is the part's channel count.
+// Together they satisfy vm.ChannelMapper, letting the page-placement
+// policies color pages by the channel bits without the vm package
+// depending on this one.
+func (s *SDRAM) ChannelOf(addr uint64) int {
+	ch, _, _ := s.decode(addr)
+	return ch
+}
+
+// ChannelCount reports the number of independent channels.
+func (s *SDRAM) ChannelCount() int { return s.cfg.Channels }
+
 // SetTracer implements Traceable.
 func (s *SDRAM) SetTracer(t *stats.Tracer) { s.tr = t }
 
@@ -422,13 +435,11 @@ func (s *SDRAM) EnableTenantStats(n int) {
 func (s *SDRAM) TenantStatsOf(i int) *TenantStats { return &s.tst[i] }
 
 // tenantShard maps a request ID to its stat shard (nil when sharding
-// is off; out-of-range tags fold into the allocated shards so a
-// mis-tagged request can never panic the controller).
+// is off or the tag is outside the allocated range; stray tags are
+// counted in Stats.TenantMisroute instead of aliasing into another
+// tenant's shard, and can never panic the controller).
 func (s *SDRAM) tenantShard(id uint64) *TenantStats {
-	if len(s.tst) == 0 {
-		return nil
-	}
-	return &s.tst[TenantOf(id)%len(s.tst)]
+	return shardFor(s.tst, id, &s.st)
 }
 
 // decode splits addr into channel, bank and row according to the

@@ -109,6 +109,13 @@ type Knobs struct {
 	// sdram controller and requires Tenants >= 2.
 	Tenants int
 	QoS     bool
+
+	// VA (-va / "va", "vacolor", "vacolo") turns on per-requestor
+	// virtual address translation in the memory front end and names the
+	// physical placement policy ("first", "color" or "colo"). Like
+	// MSHRs and Tenants it configures layers above the controller, so
+	// it is legal on every kind; "" leaves translation off.
+	VA string
 }
 
 func (k Knobs) apply(cfg Config) Config {
@@ -323,12 +330,21 @@ func FormatSpecOpts(kind, mapping, sched, prof string, knobs Knobs) string {
 	if knobs.Tenants > 0 {
 		s += fmt.Sprintf("/tn%d", knobs.Tenants)
 	}
+	switch knobs.VA {
+	case "first":
+		s += "/va"
+	case "color":
+		s += "/vacolor"
+	case "colo":
+		s += "/vacolo"
+	}
 	return s
 }
 
 // parseKnob recognizes the spec knob tokens: "<n>ch", "wq<n>",
 // "wql<n>", "wqi<n>", "win<n>", "rp<name>[:<n>]", "pfq<n>", "pfdec<n>",
-// "qos", "mshr<n>", "tn<n>", "pf<n>" and "pf<n>d<m>". Longer prefixes
+// "qos", "va"/"vacolor"/"vacolo", "mshr<n>", "tn<n>", "pf<n>" and
+// "pf<n>d<m>". Longer prefixes
 // are tried first so "wql2" never half-matches "wq" and "pfq8"/"pfdec50"
 // never half-match "pf".
 func parseKnob(tok string, k *Knobs) bool {
@@ -349,6 +365,19 @@ func parseKnob(tok string, k *Knobs) bool {
 	}
 	if tok == "qos" {
 		k.QoS = true
+		return true
+	}
+	// The va tokens are exact matches (checked before the prefix loop,
+	// though no current prefix collides with "va").
+	switch tok {
+	case "va":
+		k.VA = "first"
+		return true
+	case "vacolor":
+		k.VA = "color"
+		return true
+	case "vacolo":
+		k.VA = "colo"
 		return true
 	}
 	if n, ok := strings.CutPrefix(tok, "pfq"); ok {
@@ -425,10 +454,10 @@ func ParseSpec(spec string, fixedLatency int64) (Backend, error) {
 
 // ParseSpecFull builds a backend from a spec string:
 //
-//	fixed[/mshr<n>][/pf<n>[d<m>]][/tn<n>]
+//	fixed[/mshr<n>][/pf<n>[d<m>]][/tn<n>][/va|vacolor|vacolo]
 //	sdram[/mapping[/sched[/profile]]][/<n>ch][/wq<n>][/wql<n>]
 //	     [/wqi<n>][/win<n>][/rp<name>[:<n>]][/pfq<n>][/pfdec<n>]
-//	     [/qos][/mshr<n>][/pf<n>[d<m>]][/tn<n>]
+//	     [/qos][/mshr<n>][/pf<n>[d<m>]][/tn<n>][/va|vacolor|vacolo]
 //
 // Omitted sdram fields default to line/frfcfs/ddr; knob segments may
 // appear anywhere after the kind. Every segment must parse: an
@@ -464,7 +493,7 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		}
 		if err != nil {
 			return nil, Knobs{}, fmt.Errorf(
-				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> rp<open|close|timer[:<n>]|history> pfq<n> pfdec<n> qos mshr<n> pf<n>[d<m>] tn<n>)",
+				"unknown token %q in spec %q (want mapping line|bank|row, scheduler fcfs|frfcfs, profile ddr|hbm, or a knob: <n>ch wq<n> wql<n> wqi<n> win<n> rp<open|close|timer[:<n>]|history> pfq<n> pfdec<n> qos mshr<n> pf<n>[d<m>] tn<n> va|vacolor|vacolo)",
 				tok, spec)
 		}
 		pos++
@@ -474,9 +503,10 @@ func ParseSpecFull(spec string, fixedLatency int64) (Backend, Knobs, error) {
 		// the banked controller and would be dead weight on other kinds.
 		ctrl := knobs
 		ctrl.MSHRs, ctrl.PFStreams, ctrl.PFDegree, ctrl.Tenants = 0, 0, 0, 0
+		ctrl.VA = ""
 		if pos > 0 || ctrl != (Knobs{}) {
 			return nil, Knobs{}, fmt.Errorf(
-				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n>, pf<n>[d<m>] and tn<n> are allowed anywhere)", spec)
+				"spec %q: mapping/scheduler/profile segments and controller knobs apply to the sdram kind only (mshr<n>, pf<n>[d<m>], tn<n> and va* are allowed anywhere)", spec)
 		}
 	}
 	if kind == "sdram" {

@@ -11,9 +11,19 @@ import "repro/internal/stats"
 // bit-identical.
 const TenantShift = 56
 
-// TagTenant stamps a requestor index into an opaque request ID.
+// tenantMask covers the tag field: the top byte of the ID.
+const tenantMask = uint64(0xff) << TenantShift
+
+// TagTenant stamps a requestor index into an opaque request ID. The
+// field is cleared first so re-tagging an already-tagged ID replaces
+// the tag instead of OR-merging two tags into garbage, and the index
+// must fit the byte — a wider index would silently corrupt the low 56
+// entry-identity bits.
 func TagTenant(id uint64, tenant int) uint64 {
-	return id | uint64(tenant)<<TenantShift
+	if tenant < 0 || tenant > 0xff {
+		panic("dram: tenant index out of tag range")
+	}
+	return id&^tenantMask | uint64(tenant)<<TenantShift
 }
 
 // TenantOf recovers the requestor index from a tagged ID (0 for
@@ -51,6 +61,21 @@ func (t *TenantStats) reset() {
 	*t = TenantStats{}
 	h.Reset()
 	t.ReadLatency = h
+}
+
+// shardFor routes a tagged ID to its stat shard. A tag outside the
+// allocated range is counted in st.TenantMisroute and recorded nowhere:
+// the old `TenantOf(id) % len(tst)` wrap silently aliased stray tags
+// into another tenant's shard, corrupting that tenant's accounting.
+func shardFor(tst []TenantStats, id uint64, st *Stats) *TenantStats {
+	if len(tst) == 0 {
+		return nil
+	}
+	if t := TenantOf(id); t < len(tst) {
+		return &tst[t]
+	}
+	st.TenantMisroute++
+	return nil
 }
 
 // TenantAware is implemented by backends that can shard statistics per

@@ -5,9 +5,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/isa"
 	"repro/internal/tenant"
+	"repro/internal/vm"
 	"repro/internal/vmem"
 )
 
@@ -77,8 +79,14 @@ func (r *Runner) SimTenants(mix []string, l2lat int64, spec string) *TenantResul
 	cfg := coreConfigFor(mom3DVariant)
 	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend,
 		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	var vmsys *vm.VM
+	if knobs.VA != "" {
+		if vmsys, err = core.NewVM(knobs.VA, len(mix), backend); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+	}
 	g := tenant.New(tenant.Options{Core: cfg, Kind: mom3DVCKind, Tim: tim,
-		Lanes: cfg.Lanes, Traces: traces, Engine: r.Engine})
+		Lanes: cfg.Lanes, Traces: traces, Engine: r.Engine, VM: vmsys})
 	start := time.Now()
 	g.Run()
 	res := &TenantResult{Mix: mix, Cycles: make([]int64, g.N()),

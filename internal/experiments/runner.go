@@ -197,6 +197,13 @@ func (r *Runner) SimDRAM(bench string, v kernels.Variant, mem core.MemKind, l2la
 	cfg := coreConfigFor(v)
 	tim := vmem.Timing{L2Latency: l2lat, MemLatency: flatMemLatency, Backend: backend,
 		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	if knobs.VA != "" {
+		vmsys, err := core.NewVM(knobs.VA, 1, backend)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		tim.VA = vmsys.Space(0)
+	}
 	// In the MMX configuration the "multi-banked" realistic memory banks
 	// the L1 data cache ports (there is no vector subsystem to bank).
 	bankL1 := v == kernels.MMX && mem != core.MemIdeal

@@ -22,6 +22,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tenant"
 	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/vmem"
 )
 
@@ -29,12 +30,17 @@ import (
 // subsystem, plus a core.Stats, and registers both.
 func loadedSystem(t *testing.T) (*stats.Registry, *core.MemSystem) {
 	t.Helper()
-	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4", 100)
+	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/va", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
 		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	vmsys, err := core.NewVM(knobs.VA, 1, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tim.VA = vmsys.Space(0)
 	ms := core.NewMemSystem(core.MemVectorCache3D, tim, 4, false)
 	reg := stats.NewRegistry()
 	(&core.Stats{}).Register(reg)
@@ -48,7 +54,7 @@ func TestRegistryCoversAllStats(t *testing.T) {
 
 	// The sanity preconditions: the loaded system really instantiated
 	// the optional subsystems this test exists to cover.
-	if ms.MSHR() == nil || ms.MSHR().Prefetcher() == nil || ms.DRAM() == nil {
+	if ms.MSHR() == nil || ms.MSHR().Prefetcher() == nil || ms.DRAM() == nil || ms.Tim.VA == nil {
 		t.Fatal("loaded system is missing a subsystem; the coverage below would be vacuous")
 	}
 
@@ -63,6 +69,12 @@ func TestRegistryCoversAllStats(t *testing.T) {
 		{"vmem.mshr", reflect.TypeOf(vmem.MSHRStats{})},
 		{"vmem.prefetch", reflect.TypeOf(vmem.PrefetchStats{})},
 		{"dram", reflect.TypeOf(dram.Stats{})},
+		// The shared TLB/walk counters and the (single) space's private
+		// counters share the vm.tlb/vm.walk prefixes; the field names
+		// keep them disjoint.
+		{"vm.tlb", reflect.TypeOf(vm.TLBStats{})},
+		{"vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
+		{"vm.walk", reflect.TypeOf(vm.WalkStats{})},
 	}
 	histType := reflect.TypeOf((*stats.Histogram)(nil))
 	for _, c := range cases {
@@ -110,17 +122,21 @@ func TestRegistryCoversMemSystemExtras(t *testing.T) {
 // completion and registered.
 func loadedTenantSystem(t *testing.T) *stats.Registry {
 	t.Helper()
-	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/tn2/qos", 100)
+	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/tn2/qos/va", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
 		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	vmsys, err := core.NewVM(knobs.VA, 2, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := core.MOMCore()
 	tr := &trace.Trace{}
 	kernels.GSMEncode(kernels.SmallGSMEncConfig()).Run(kernels.MOM3D, tr)
 	g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D,
-		Tim: tim, Lanes: cfg.Lanes, Traces: [][]isa.Inst{tr.Insts, tr.Insts}})
+		Tim: tim, Lanes: cfg.Lanes, Traces: [][]isa.Inst{tr.Insts, tr.Insts}, VM: vmsys})
 	g.Run()
 	reg := stats.NewRegistry()
 	g.Register(reg)
@@ -145,6 +161,8 @@ func TestRegistryCoversTenantShards(t *testing.T) {
 		{"vmem.mshr", reflect.TypeOf(vmem.MSHRStats{})},
 		{"vmem.prefetch", reflect.TypeOf(vmem.PrefetchStats{})},
 		{"dram", reflect.TypeOf(dram.Stats{})},
+		{"vm.tlb", reflect.TypeOf(vm.TLBStats{})},
+		{"vm.walk", reflect.TypeOf(vm.WalkStats{})},
 		// Per-tenant shards for both tenants.
 		{"tenant.0.core", reflect.TypeOf(core.Stats{})},
 		{"tenant.0.cache.l1", reflect.TypeOf(cache.Stats{})},
@@ -154,6 +172,8 @@ func TestRegistryCoversTenantShards(t *testing.T) {
 		{"tenant.1.cache.l1", reflect.TypeOf(cache.Stats{})},
 		{"tenant.1.vmem", reflect.TypeOf(vmem.Stats{})},
 		{"tenant.1.dram", reflect.TypeOf(dram.TenantStats{})},
+		{"tenant.0.vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
+		{"tenant.1.vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
 	}
 	histType := reflect.TypeOf((*stats.Histogram)(nil))
 	for _, c := range cases {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/vm"
 	"repro/internal/vmem"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	BankL1 bool
 	Traces [][]isa.Inst
 	Engine engine.Mode // simulation engine; Wheel skips rounds no tenant can act in
+
+	// VM, when non-nil, gives tenant i the real virtual address space
+	// VM.Space(i) over one shared physical pool instead of the
+	// tenant<<32 window rebasing: traces run at their native virtual
+	// addresses, isolation comes from per-tenant page tables, and the
+	// buddy allocator's placement policy decides how the tenants'
+	// pages interleave across DRAM channels and rows.
+	VM *vm.VM
 }
 
 // Group is M core simulators in lockstep over one shared memory system.
@@ -62,7 +71,7 @@ func New(o Options) *Group {
 		panic("tenant: need at least one trace")
 	}
 	g := &Group{
-		mems:  core.NewTenantMemSystems(o.Kind, o.Tim, o.Lanes, o.BankL1, n),
+		mems:  core.NewTenantMemSystems(o.Kind, o.Tim, o.Lanes, o.BankL1, n, o.VM),
 		sims:  make([]*core.Sim, n),
 		stats: make([]*core.Stats, n),
 	}
@@ -70,7 +79,13 @@ func New(o Options) *Group {
 		ta.EnableTenantStats(n)
 	}
 	for i := range o.Traces {
-		g.sims[i] = core.NewSim(o.Core, g.mems[i], rebase(o.Traces[i], i))
+		tr := o.Traces[i]
+		if o.VM == nil {
+			// Without address translation, disjoint tenant<<32 windows
+			// fake the isolation real page tables provide.
+			tr = rebase(tr, i)
+		}
+		g.sims[i] = core.NewSim(o.Core, g.mems[i], tr)
 	}
 	if o.Engine == engine.Wheel {
 		g.wheel = true
@@ -210,6 +225,9 @@ func (g *Group) Register(reg *stats.Registry) {
 	if b := m0.DRAM(); b != nil {
 		reg.AddStruct("dram", b.Stats())
 	}
+	if sp0 := m0.Tim.VA; sp0 != nil {
+		sp0.VM().RegisterShared(reg) // shared L2 TLB + walk counters
+	}
 	for i := range g.sims {
 		p := fmt.Sprintf("tenant.%d", i)
 		reg.AddStruct(p+".core", g.sims[i].StatsRef())
@@ -219,6 +237,9 @@ func (g *Group) Register(reg *stats.Registry) {
 		}
 		reg.AddStruct(p+".vmem", m.VM.Stats())
 		reg.Counter(p+".vmem.scalar_l2_accesses", func() uint64 { return m.ScalarL2Accesses })
+		if sp := m.Tim.VA; sp != nil {
+			sp.Register(reg, p+".vm.tlb")
+		}
 		if ts := g.TenantStatsOf(i); ts != nil {
 			reg.AddStruct(p+".dram", ts)
 		}

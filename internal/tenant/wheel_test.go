@@ -13,10 +13,13 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/stats"
 	"repro/internal/tenant"
+	"repro/internal/vmem"
 )
 
 func TestWheelMatchesStepTenants(t *testing.T) {
@@ -68,6 +71,57 @@ func TestWheelMatchesStepTenants(t *testing.T) {
 		if sb != nil && !reflect.DeepEqual(*sb.Stats(), *wb.Stats()) {
 			t.Errorf("%s/%s: shared backend stats diverged\n  step  %+v\n  wheel %+v",
 				tc.name, tc.spec, *sb.Stats(), *wb.Stats())
+		}
+	}
+}
+
+// TestWheelMatchesStepTenantsVA extends the equivalence to real address
+// spaces: under the wheel a tenant's page-table walk completes lazily at
+// its next poll, racing the group's skip rounds and the shared MSHR
+// fill wake-ups, and the shared L2 TLB orders insertions across tenants
+// — the full registry snapshot (core, caches, vmem, dram shards and
+// every vm.tlb/vm.walk counter) must still match the per-cycle lockstep
+// group bit for bit.
+func TestWheelMatchesStepTenantsVA(t *testing.T) {
+	ms := kernels.MotionSearch(kernels.SmallMotionSearchConfig())
+	gsm := kernels.GSMEncode(kernels.SmallGSMEncConfig())
+
+	cases := []struct {
+		name   string
+		traces [][]isa.Inst
+		spec   string
+	}{
+		{"va-2", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/bank/frfcfs/tn2/va"},
+		{"vacolor-2-mshr", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/bank/frfcfs/tn2/mshr8/vacolor"},
+		{"vacolo-2-qos", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/bank/frfcfs/tn2/qos/vacolo"},
+		{"va-3-pf", [][]isa.Inst{traceOf(ms, kernels.MOM3D), traceOf(ms, kernels.MOM3D), traceOf(gsm, kernels.MOM3D)}, "sdram/bank/frfcfs/tn3/mshr8/pf4/vacolor"},
+	}
+	for _, tc := range cases {
+		cfg := core.MOMCore()
+		run := func(mode engine.Mode) string {
+			// Backend AND VM must be fresh per run: both are stateful.
+			backend, knobs, err := dram.ParseSpecFull(tc.spec, 100)
+			if err != nil {
+				t.Fatalf("spec %q: %v", tc.spec, err)
+			}
+			tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
+				MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+			vmsys, err := core.NewVM(knobs.VA, len(tc.traces), backend)
+			if err != nil {
+				t.Fatalf("spec %q: %v", tc.spec, err)
+			}
+			g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D,
+				Tim: tim, Lanes: cfg.Lanes, Traces: tc.traces, Engine: mode, VM: vmsys})
+			g.Run()
+			reg := stats.NewRegistry()
+			g.Register(reg)
+			return reg.Snapshot().String()
+		}
+		step := run(engine.Step)
+		wheel := run(engine.Wheel)
+		if step != wheel {
+			t.Errorf("%s/%s: wheel snapshot diverged from step\n--- step ---\n%s--- wheel ---\n%s",
+				tc.name, tc.spec, step, wheel)
 		}
 	}
 }

@@ -1,0 +1,225 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// testConfig shrinks the geometry so eviction and walk paths are easy
+// to reach.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.L1Sets, cfg.L1Ways = 2, 2
+	cfg.L2Sets, cfg.L2Ways = 4, 2
+	cfg.PhysPages = 64
+	return cfg
+}
+
+func scalarLoad(va uint64) *isa.Inst {
+	return &isa.Inst{Kind: isa.KindScalarMem, Addr: va, Imm: 8}
+}
+
+// A first touch walks the full table (demand fault included) and the
+// instruction stalls Levels*WalkLat cycles; once the walk fills the
+// TLBs the same page is an L1 hit and issues immediately.
+func TestReadyTimingAndIdempotence(t *testing.T) {
+	v := New(testConfig(), 1, nil)
+	sp := v.Space(0)
+	in := scalarLoad(0x4000)
+	walkDone := int64(100) + int64(v.cfg.Levels)*v.cfg.WalkLat
+
+	if got := sp.Ready(in, 1, 100); got != walkDone {
+		t.Fatalf("first-touch Ready = %d, want walk completion at %d", got, walkDone)
+	}
+	if sp.st.Faults != 1 || v.wst.Walks != 1 {
+		t.Fatalf("faults=%d walks=%d, want 1/1", sp.st.Faults, v.wst.Walks)
+	}
+	// Per-cycle oracle behavior: the stalled instruction re-polls every
+	// cycle. The transaction must absorb the retries without touching
+	// TLB or walk state again.
+	for now := int64(101); now < walkDone; now++ {
+		if got := sp.Ready(in, 1, now); got != walkDone {
+			t.Fatalf("retry at %d returned %d, want %d", now, got, walkDone)
+		}
+	}
+	if v.wst.Walks != 1 || sp.st.L1Misses != 1 {
+		t.Fatalf("retries restarted the transaction: walks=%d l1misses=%d", v.wst.Walks, sp.st.L1Misses)
+	}
+	// At the ready cycle the transaction retires and fills the TLBs.
+	if got := sp.Ready(in, 1, walkDone); got != walkDone {
+		t.Fatalf("Ready at completion = %d, want %d", got, walkDone)
+	}
+	if v.wst.Latency.Count() != 1 {
+		t.Fatalf("walk latency histogram count = %d, want 1", v.wst.Latency.Count())
+	}
+	// A fresh instruction on the same page is an L1 TLB hit: no stall.
+	if got := sp.Ready(scalarLoad(0x4008), 2, walkDone+1); got != walkDone+1 {
+		t.Fatalf("post-fill Ready = %d, want immediate issue", got)
+	}
+	if sp.st.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d, want 1", sp.st.L1Hits)
+	}
+}
+
+// Two instructions missing the same page must share one walk.
+func TestWalkCoalescing(t *testing.T) {
+	v := New(testConfig(), 1, nil)
+	sp := v.Space(0)
+	d1 := sp.Ready(scalarLoad(0x9000), 1, 50)
+	d2 := sp.Ready(scalarLoad(0x9010), 2, 55)
+	if d1 != d2 {
+		t.Fatalf("coalesced walk completions differ: %d vs %d", d1, d2)
+	}
+	if v.wst.Walks != 1 || v.wst.Coalesced != 1 {
+		t.Fatalf("walks=%d coalesced=%d, want 1/1", v.wst.Walks, v.wst.Coalesced)
+	}
+}
+
+// With demand paging off, touching an unmapped page is a model bug.
+func TestUnmappedAccessPanics(t *testing.T) {
+	cfg := testConfig()
+	cfg.Demand = false
+	v := New(cfg, 1, nil)
+	sp := v.Space(0)
+	sp.Alloc(0x1000, 0x1000)
+	if got := sp.Ready(scalarLoad(0x1800), 1, 0); got < 0 {
+		t.Fatal("mapped access failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped access did not panic with demand paging off")
+		}
+	}()
+	sp.Ready(scalarLoad(0x8000), 2, 10)
+}
+
+// Freeing a range must shoot the translations out of both TLB levels:
+// the next touch walks again instead of using a stale entry, and the
+// physical pages return to the allocator.
+func TestShootdownOnFree(t *testing.T) {
+	v := New(testConfig(), 1, nil)
+	sp := v.Space(0)
+	in := scalarLoad(0x4000)
+	done := sp.Ready(in, 1, 0)
+	sp.Ready(in, 1, done) // retire: fills L1+L2
+	if v.l2.Entries() != 1 || sp.l1.Entries() != 1 {
+		t.Fatalf("TLBs not filled: l2=%d l1=%d", v.l2.Entries(), sp.l1.Entries())
+	}
+	free0 := v.FreePages()
+	sp.Free(0x4000, 8)
+	if v.wst.Shootdowns != 1 {
+		t.Fatalf("Shootdowns = %d, want 1", v.wst.Shootdowns)
+	}
+	if v.l2.Entries() != 0 || sp.l1.Entries() != 0 {
+		t.Fatalf("shoot-down left stale entries: l2=%d l1=%d", v.l2.Entries(), sp.l1.Entries())
+	}
+	if v.FreePages() != free0+1 {
+		t.Fatalf("page did not return to the allocator: %d -> %d", free0, v.FreePages())
+	}
+	// The re-touch must walk again (and may land on a different frame).
+	if d := sp.Ready(scalarLoad(0x4000), 2, 1000); d == 1000 {
+		t.Fatal("re-touch after shoot-down issued without a walk")
+	}
+	if v.wst.Walks != 2 {
+		t.Fatalf("Walks = %d, want 2", v.wst.Walks)
+	}
+}
+
+// An L1-capacity-evicted translation should still hit the bigger
+// shared L2 TLB, paying only the L2 penalty.
+func TestL2TLBHitPath(t *testing.T) {
+	cfg := testConfig()
+	v := New(cfg, 1, nil)
+	sp := v.Space(0)
+	// Touch more pages than the 4-entry L1 holds; all land in the L2.
+	var done int64
+	for i := uint64(0); i < 8; i++ {
+		seq := i + 1
+		d := sp.Ready(scalarLoad(i<<cfg.PageBits), seq, done)
+		done = d
+		sp.Ready(scalarLoad(i<<cfg.PageBits), seq, done) // retire
+	}
+	if sp.st.L1Evictions == 0 {
+		t.Fatalf("expected L1 evictions after 8 pages in a 4-entry L1")
+	}
+	// Page 0 was evicted from L1 but lives in L2: the stall must be
+	// exactly the L2 penalty, not a walk.
+	h0 := v.st.L2Hits
+	d := sp.Ready(scalarLoad(0), 100, done)
+	if d != done+cfg.L2TLBLat {
+		t.Fatalf("L2-hit stall = %d cycles, want %d", d-done, cfg.L2TLBLat)
+	}
+	if v.st.L2Hits != h0+1 {
+		t.Fatalf("L2Hits = %d, want %d", v.st.L2Hits, h0+1)
+	}
+}
+
+// fakeChans maps 8 KiB stripes round-robin over 4 channels — the ddr
+// bank-mapping shape (channel bits just above the page offset).
+type fakeChans struct{}
+
+func (fakeChans) ChannelOf(addr uint64) int { return int(addr>>13) & 3 }
+func (fakeChans) ChannelCount() int         { return 4 }
+
+// The placement policies must actually differ: coloring spreads a
+// space's pages evenly over channels, co-location keeps them
+// physically contiguous, first-fit takes the lowest hole.
+func TestPlacementPolicies(t *testing.T) {
+	alloc := func(p Policy) *Space {
+		cfg := testConfig()
+		cfg.Policy = p
+		v := New(cfg, 1, fakeChans{})
+		sp := v.Space(0)
+		sp.Alloc(0, 16<<cfg.PageBits) // 16 pages
+		return sp
+	}
+
+	colored := alloc(PolicyColor).PageChannels()
+	for ch, n := range colored {
+		if n != 4 {
+			t.Fatalf("coloring left channel %d with %d/16 pages: %v", ch, n, colored)
+		}
+	}
+
+	colo := alloc(PolicyColocate)
+	for vpn := uint64(0); vpn < 16; vpn++ {
+		ppn, ok := colo.pt.Lookup(vpn)
+		if !ok || ppn != vpn {
+			t.Fatalf("co-location broke contiguity: vpn %d -> ppn %d", vpn, ppn)
+		}
+	}
+
+	ff := alloc(PolicyFirstFit)
+	if ppn, _ := ff.pt.Lookup(0); ppn != 0 {
+		t.Fatalf("first-fit did not start at the lowest page: %d", ppn)
+	}
+}
+
+// Two spaces are isolated: the same virtual page maps to different
+// frames, and the shared L2 TLB keeps the translations apart.
+func TestSpaceIsolation(t *testing.T) {
+	v := New(testConfig(), 2, nil)
+	a, b := v.Space(0), v.Space(1)
+	a.Alloc(0x4000, 8)
+	b.Alloc(0x4000, 8)
+	pa, pb := a.Translate(0x4000), b.Translate(0x4000)
+	if pa == pb {
+		t.Fatalf("two tenants share frame %#x for one virtual page", pa)
+	}
+	if a.Translate(0x4004) != pa+4 {
+		t.Fatal("page-offset bits not preserved")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"first": PolicyFirstFit, "color": PolicyColor, "colo": PolicyColocate} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}

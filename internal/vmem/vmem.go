@@ -21,6 +21,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/isa"
+	"repro/internal/vm"
 )
 
 // Timing holds the memory latencies the subsystems compose.
@@ -65,6 +66,25 @@ type Timing struct {
 	// dram.TagTenant). 0 — the single-requestor default — tags to the
 	// identity, leaving the classic path bit-identical.
 	Tenant int
+
+	// VA, when non-nil, is this requestor's virtual address space: the
+	// subsystems translate every word/line address through it before
+	// the cache hierarchy, so the page-placement policy decides which
+	// banks, rows and channels an access stream physically hits.
+	// Translation *timing* (TLB misses, walk stalls) is charged at the
+	// issue stage by the core, not here; the data path translates for
+	// free because Ready already resolved every page. nil keeps all
+	// addresses physical — the bit-identical default.
+	VA *vm.Space
+}
+
+// Xl translates a virtual address through the attached address space;
+// without one it is the identity.
+func (tm Timing) Xl(a uint64) uint64 {
+	if tm.VA != nil {
+		return tm.VA.Translate(a)
+	}
+	return a
 }
 
 // DefaultTiming is the paper's base system (§5.3) over a 100-cycle DRAM.
@@ -255,7 +275,7 @@ func (m *MultiBanked) Issue(in *isa.Inst, t0 int64) (int64, *Pending) {
 		// Elements wider than a word (3D loads on this subsystem) cost
 		// one bank access per word.
 		for w := 0; w < (el.Size+7)/8; w++ {
-			addr := el.Addr + uint64(8*w)
+			addr := m.tim.Xl(el.Addr + uint64(8*w))
 			bank := (addr >> 3) % uint64(len(m.banks))
 			// Earliest free port.
 			p := 0
@@ -440,14 +460,19 @@ func (v *VectorCache) lookup(addr, bytes uint64, store bool, ct int64) []uint64 
 	last := v.l2.LineAddr(addr + bytes - 1)
 	v.missBuf = v.missBuf[:0]
 	v.wbBuf = v.wbBuf[:0]
+	// The span is contiguous in the virtual space; each line translates
+	// independently, so a page-crossing access may hit discontiguous
+	// physical lines (line-aligned virtual addresses stay line-aligned
+	// because pages are line-multiples).
 	for a := first; ; a += uint64(v.l2.Config().LineSize) {
-		coherenceInvalidate(v.l2, v.l1, a, store, &v.st)
-		res := v.l2.Access(a, store, false)
+		pa := v.tim.Xl(a)
+		coherenceInvalidate(v.l2, v.l1, pa, store, &v.st)
+		res := v.l2.Access(pa, store, false)
 		if !res.Hit {
-			v.missBuf = append(v.missBuf, a)
+			v.missBuf = append(v.missBuf, pa)
 		}
 		if res.Prefetched {
-			v.pfBuf = append(v.pfBuf, PFTouch{Line: a, At: ct})
+			v.pfBuf = append(v.pfBuf, PFTouch{Line: pa, At: ct})
 		}
 		if res.Writeback {
 			v.wbBuf = append(v.wbBuf, res.VictimAddr)
