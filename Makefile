@@ -1,7 +1,7 @@
 # The verify target is the tier-1 gate: CI runs it, and it is the
 # command to run before sending a change.
 
-.PHONY: verify build test test-race bench wheel rpsweep ifsweep vasweep enginebench stats trace tenants fmt-check vet
+.PHONY: verify build test test-race bench wheel rpsweep ifsweep vasweep enginebench cpisweep stats trace tenants fmt-check vet
 
 # J is the sweep parallelism the sweep targets pass to momexp; override
 # with `make rpsweep J=1` to force a serial run.
@@ -48,6 +48,7 @@ stats:
 # binary path).
 trace:
 	go test -race -run 'TestTracer|TestResolveObservability' ./internal/stats/ ./cmd/momsim/
+	go test -race -count=1 -run 'TestTraceParseBackWheelTenants|TestTraceRingWrapMonotonic' ./internal/tenant/
 	go run -race ./cmd/momsim -bench gsmencode -dram sdram -mshr 8 -pf 4 -trace /tmp/momsim_trace.json -tracebuf 65536
 	@python3 -c "import json; d=json.load(open('/tmp/momsim_trace.json')); print('trace OK:', len(d['traceEvents']), 'events')"
 
@@ -85,6 +86,13 @@ vasweep:
 # motionsearch HBM rows and the golden matrix, writing BENCH_PR8.json.
 enginebench:
 	go run ./cmd/momexp -enginebench BENCH_PR8.json -q
+
+# cpisweep regenerates the CPI-stack cycle-attribution table
+# (EXPERIMENTS.md's reference table) over the extended full-size suite
+# and the backend ladder, writing BENCH_PR10.json; every row's buckets
+# are asserted to sum to its cycle count before rendering.
+cpisweep:
+	go run ./cmd/momexp -cpisweep BENCH_PR10.json -engine wheel -q
 
 # tenants smokes the multi-requestor front end under the race detector:
 # two motionsearch instances in lockstep on one shared QoS-scheduled

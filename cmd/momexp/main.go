@@ -15,6 +15,7 @@
 //	momexp -ifsweep     the multi-tenant interference sweep (FR-FCFS vs QoS)
 //	momexp -vasweep     the placement-policy × mix matrix under address translation
 //	momexp -latdist     the ddr-vs-hbm read-latency distribution table
+//	momexp -cpisweep BENCH_PR10.json  print the CPI-stack table and write the report as JSON
 //	momexp -statsjson BENCH_PR6.json  write the golden-matrix registry snapshots as JSON
 //	momexp -dram sdram  rerun the evaluation over the banked SDRAM model
 //	momexp -mshr 8      ... with an 8-entry MSHR file (non-blocking pipeline)
@@ -31,6 +32,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/dram/policy"
 	"repro/internal/experiments"
+	"repro/internal/kernels"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 	ifsweep := flag.Bool("ifsweep", false, "print only the multi-tenant interference sweep (FR-FCFS vs QoS scheduling)")
 	vasweep := flag.Bool("vasweep", false, "print only the placement-policy × kernel-mix matrix under virtual address translation")
 	latdist := flag.Bool("latdist", false, "print only the ddr-vs-hbm read-latency distribution table")
+	cpisweep := flag.String("cpisweep", "", "print the CPI-stack cycle-attribution table and write the report to this file as JSON")
 	statsjson := flag.String("statsjson", "", "write the golden-matrix registry snapshots to this file as JSON and exit")
 	dramName := flag.String("dram", "", "main-memory backend for all simulations: fixed, sdram (default: seed flat latency)")
 	dmap := flag.String("dmap", "line", "sdram address mapping: line, bank, row")
@@ -152,6 +155,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "momexp: -latdist compares its own backend configurations; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
 	}
+	if *cpisweep != "" && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
+		fmt.Fprintln(os.Stderr, "momexp: -cpisweep climbs its own backend ladder; drop -dram/-dmap/-dsched/-mshr/-pf")
+		os.Exit(2)
+	}
 	if *statsjson != "" && (dramSet || dramKnobSet || mshrSet || pfSet || vaSet) {
 		fmt.Fprintln(os.Stderr, "momexp: -statsjson runs the pinned golden matrix; drop -dram/-dmap/-dsched/-mshr/-pf")
 		os.Exit(2)
@@ -253,6 +260,29 @@ func main() {
 		fmt.Print(experiments.RenderVASweep(experiments.VASweep(r)))
 	case *latdist:
 		fmt.Print(experiments.RenderLatDist(experiments.LatDist(r)))
+	case *cpisweep != "":
+		// The attribution table wants the streaming kernel next to the
+		// paper suite — its stack is the memory-dominated one — so the
+		// sweep runs over the extended suite on its own runner.
+		rx := experiments.NewRunnerWith(kernels.Extended())
+		rx.Engine, rx.Workers, rx.Progress = r.Engine, r.Workers, r.Progress
+		rep := experiments.CPISweep(rx, "extended")
+		fh, err := os.Create(*cpisweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(fh); err == nil {
+			err = fh.Close()
+		} else {
+			fh.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "momexp: writing %s: %v\n", *cpisweep, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderCPISweep(rep))
+		fmt.Printf("wrote %d CPI-stack rows to %s\n", len(rep.Rows), *cpisweep)
 	case *fig != 0:
 		printFigure(r, *fig)
 	case *table != 0:

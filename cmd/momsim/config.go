@@ -52,10 +52,15 @@ type options struct {
 
 	// Observability outputs: Trace writes a Chrome trace-event JSON
 	// file (TraceBuf sizes the event ring; 0 = default), StatsJSON
-	// writes the registry snapshot.
-	Trace     string
-	StatsJSON string
-	TraceBuf  int
+	// writes the registry snapshot, CPIStack prints the cycle
+	// attribution report, and Sample/SampleJSON record a per-interval
+	// time series of every registered counter.
+	Trace      string
+	StatsJSON  string
+	TraceBuf   int
+	CPIStack   bool
+	Sample     int64
+	SampleJSON string
 }
 
 // defaultOptions matches the flag defaults.
@@ -79,9 +84,12 @@ type runConfig struct {
 	Engine  engine.Mode // per-cycle oracle or the event-wheel engine
 	VM      *vm.VM      // address-translation layer (nil = translation off)
 
-	Trace     string // Chrome trace-event JSON output path ("" = off)
-	StatsJSON string // registry-snapshot JSON output path ("" = off)
-	TraceBuf  int    // trace ring capacity in events (0 = default)
+	Trace      string // Chrome trace-event JSON output path ("" = off)
+	StatsJSON  string // registry-snapshot JSON output path ("" = off)
+	TraceBuf   int    // trace ring capacity in events (0 = default)
+	CPIStack   bool   // print the CPI-stack cycle attribution report
+	Sample     int64  // interval time-series sampling period in cycles (0 = off)
+	SampleJSON string // time-series JSON output path ("" = off)
 }
 
 // resolve validates the options, building the benchmark, processor,
@@ -154,6 +162,18 @@ func resolve(o options) (runConfig, error) {
 	if o.Trace != "" && o.Trace == o.StatsJSON {
 		return rc, fmt.Errorf("-trace and -statsjson both write %q; pick distinct files", o.Trace)
 	}
+	if o.Sample < 0 {
+		return rc, fmt.Errorf("-sample must not be negative (got %d)", o.Sample)
+	}
+	if o.Sample > 0 && o.SampleJSON == "" {
+		return rc, fmt.Errorf("-sample records an interval time series; name its output with -samplejson <file>")
+	}
+	if o.SampleJSON != "" && o.Sample == 0 {
+		return rc, fmt.Errorf("-samplejson has no effect without -sample <cycles>")
+	}
+	if o.SampleJSON != "" && (o.SampleJSON == o.Trace || o.SampleJSON == o.StatsJSON) {
+		return rc, fmt.Errorf("-samplejson collides with another output writing %q; pick distinct files", o.SampleJSON)
+	}
 	mode, err := engine.ParseMode(o.Engine)
 	if err != nil {
 		return rc, err
@@ -173,6 +193,7 @@ func resolve(o options) (runConfig, error) {
 	}
 	rc.Tenants, rc.QoS = o.Tenants, o.QoS
 	rc.Trace, rc.StatsJSON, rc.TraceBuf = o.Trace, o.StatsJSON, o.TraceBuf
+	rc.CPIStack, rc.Sample, rc.SampleJSON = o.CPIStack, o.Sample, o.SampleJSON
 	return rc, nil
 }
 

@@ -198,6 +198,16 @@ func TestResolveObservability(t *testing.T) {
 	if rc, err = resolve(defaultOptions()); err != nil || rc.Trace != "" || rc.StatsJSON != "" {
 		t.Errorf("default resolve enables an exporter: %+v (err %v)", rc, err)
 	}
+	// The cycle-attribution report and the interval sampler thread through.
+	o = defaultOptions()
+	o.CPIStack, o.Sample, o.SampleJSON = true, 500, "ts.json"
+	rc, err = resolve(o)
+	if err != nil {
+		t.Fatalf("resolve(cpistack+sample): %v", err)
+	}
+	if !rc.CPIStack || rc.Sample != 500 || rc.SampleJSON != "ts.json" {
+		t.Errorf("attribution outputs not threaded: %+v", rc)
+	}
 }
 
 func TestResolveRejectsUnknownValues(t *testing.T) {
@@ -235,6 +245,15 @@ func TestResolveRejectsUnknownValues(t *testing.T) {
 		{"tracebuf-negative", func(o *options) { o.Trace = "t.json"; o.TraceBuf = -1 }, "-tracebuf"},
 		{"tracebuf-no-trace", func(o *options) { o.TraceBuf = 4096 }, "-trace"},
 		{"trace-eq-statsjson", func(o *options) { o.Trace = "out.json"; o.StatsJSON = "out.json" }, "distinct"},
+		{"sample-negative", func(o *options) { o.Sample = -1 }, "-sample"},
+		{"sample-no-file", func(o *options) { o.Sample = 1000 }, "-samplejson"},
+		{"samplejson-no-sample", func(o *options) { o.SampleJSON = "ts.json" }, "-sample"},
+		{"samplejson-eq-trace", func(o *options) {
+			o.Sample, o.SampleJSON, o.Trace = 1000, "out.json", "out.json"
+		}, "distinct"},
+		{"samplejson-eq-statsjson", func(o *options) {
+			o.Sample, o.SampleJSON, o.StatsJSON = 1000, "out.json", "out.json"
+		}, "distinct"},
 	}
 	for _, c := range cases {
 		o := defaultOptions()

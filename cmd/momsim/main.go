@@ -47,9 +47,21 @@
 // histogram as deterministic JSON (the internal/stats registry
 // snapshot); -trace <file> writes a cycle-stamped Chrome trace-event
 // JSON covering DRAM request issue/activate/column/complete, MSHR
-// alloc/merge/fill, prefetch train/fire/drop and row-policy closes
-// (load it in chrome://tracing or Perfetto; -tracebuf sizes the event
-// ring, most recent events win).
+// alloc/merge/fill, prefetch train/fire/drop, row-policy closes — and
+// the core pipeline itself: every memory instruction renders as an
+// issue→commit span (tid = ROB slot, pid = tenant), with causal flow
+// arrows chaining it to the TLB walk that stalled it and to each MSHR
+// entry it allocated through to the DRAM fill (load it in
+// chrome://tracing or Perfetto; -tracebuf sizes the event ring, most
+// recent events win — the ring's overwrite count is reported and
+// registered as trace.dropped). -cpistack prints the CPI stack: every
+// core cycle attributed to exactly one stall reason (busy, issue,
+// exec, dep, mshr_full, store_buf, tlb_walk, dram_wait, qos_yield,
+// frontend, drain — the buckets sum to the cycle count exactly, on
+// both engines). -sample N -samplejson <file> records a time series:
+// every N cycles the stats registry is snapshotted and the
+// per-interval counter deltas (plus absolute gauges) append one row to
+// a deterministic JSON document.
 package main
 
 import (
@@ -61,6 +73,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/dram/policy"
+	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/power"
@@ -100,6 +113,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write a cycle-stamped Chrome trace-event JSON to this file")
 	statsFile := flag.String("statsjson", "", "write the stats-registry snapshot as JSON to this file")
 	traceBuf := flag.Int("tracebuf", 0, "trace event-ring capacity; oldest events drop first (0 = default)")
+	cpistack := flag.Bool("cpistack", false, "print the CPI stack: every core cycle attributed to one stall reason")
+	sample := flag.Int64("sample", 0, "interval time-series sampling period in cycles (0 = off; needs -samplejson)")
+	sampleFile := flag.String("samplejson", "", "write the interval time series as JSON to this file")
 	flag.Parse()
 
 	// Reject explicitly-set knobs the chosen backend would silently
@@ -127,6 +143,7 @@ func main() {
 		Tenants: *tenants, QoS: *qos, VA: *va,
 		L2Lat: *l2lat, MemLat: *memLat, Gshare: *gshare, Engine: *engineName,
 		Trace: *traceFile, StatsJSON: *statsFile, TraceBuf: *traceBuf,
+		CPIStack: *cpistack, Sample: *sample, SampleJSON: *sampleFile,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -154,13 +171,32 @@ func main() {
 	}
 
 	ms := core.NewMemSystem(rc.MemKind, rc.Timing, rc.Core.Lanes, rc.Variant == kernels.MMX && rc.MemKind != core.MemIdeal)
+	sim := core.NewSim(rc.Core, ms, tr.Insts)
+	sim.SetEngine(rc.Engine)
 	var tracer *stats.Tracer
 	if rc.Trace != "" {
 		tracer = stats.NewTracer(rc.TraceBuf)
 		ms.AttachTracer(tracer)
+		sim.SetTracer(tracer, 0)
 	}
+	// The registry is wired before the run: its counters are closures
+	// over the live structs, so the end-of-run snapshot is identical to
+	// the old post-run registration — and the sampler can read deltas
+	// mid-flight.
+	reg := stats.NewRegistry()
+	sim.StatsRef().Register(reg)
+	ms.Register(reg)
+	if tracer != nil {
+		reg.Gauge("trace.dropped", func() int64 { return int64(tracer.Dropped()) })
+	}
+	var sampler *stats.Sampler
+	if rc.Sample > 0 {
+		sampler = stats.NewSampler(reg, rc.Sample)
+	}
+
 	start := time.Now()
-	st := core.SimulateMode(rc.Core, ms, tr.Insts, rc.Engine)
+	st := runSim(sim, rc.Engine, sampler)
+	ms.Drain()
 	wall := time.Since(start)
 
 	if rc.MemKind == core.MemIdeal {
@@ -261,16 +297,68 @@ func main() {
 	if st.Mispredicts > 0 {
 		fmt.Printf("branch mispredicts: %d\n", st.Mispredicts)
 	}
+	if rc.CPIStack {
+		printCPIStack("", st)
+	}
 
 	if rc.StatsJSON != "" {
-		reg := stats.NewRegistry()
-		st.Register(reg)
-		ms.Register(reg)
 		registerHost(reg, st.Cycles, wall)
 		writeStatsJSON(rc.StatsJSON, reg)
 	}
+	if sampler != nil {
+		writeSampleJSON(rc.SampleJSON, sampler)
+	}
 	if tracer != nil {
 		writeTraceJSON(rc.Trace, tracer)
+	}
+}
+
+// runSim drives one simulator to completion under the chosen engine,
+// sampling the registry at every interval boundary the engine crosses
+// (the wheel can land past a boundary; the row is stamped with the
+// cycle actually reached).
+func runSim(sim *core.Sim, mode engine.Mode, sampler *stats.Sampler) *core.Stats {
+	var next int64
+	if sampler != nil {
+		next = sampler.Interval()
+	}
+	for sim.Running() {
+		if mode == engine.Wheel {
+			sim.Advance()
+		} else {
+			sim.Step()
+		}
+		if sampler != nil && sim.Now() >= next {
+			sampler.Sample(sim.Now())
+			for next <= sim.Now() {
+				next += sampler.Interval()
+			}
+		}
+	}
+	return sim.Finish()
+}
+
+// printCPIStack renders the cycle-attribution report: every bucket with
+// its share of the run, and the conservation line the stack guarantees.
+// indent prefixes each line for the per-tenant report.
+func printCPIStack(indent string, st *core.Stats) {
+	c := &st.CPI
+	fmt.Printf("%scpi stack: %d cycles attributed (sum %d)\n", indent, st.Cycles, c.Sum())
+	rows := []struct {
+		name string
+		n    uint64
+	}{
+		{"busy", c.Busy}, {"issue", c.Issue}, {"exec", c.Exec}, {"dep", c.Dep},
+		{"mshr_full", c.MSHRFull}, {"store_buf", c.StoreBuf}, {"tlb_walk", c.TLBWalk},
+		{"dram_wait", c.DRAMWait}, {"qos_yield", c.QosYield},
+		{"frontend", c.Frontend}, {"drain", c.Drain},
+	}
+	for _, r := range rows {
+		if r.n == 0 {
+			continue
+		}
+		fmt.Printf("%s  %-10s %12d  %5.1f%%\n", indent, r.name, r.n,
+			100*float64(r.n)/float64(st.Cycles))
 	}
 }
 
@@ -314,8 +402,21 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 		tracer = stats.NewTracer(rc.TraceBuf)
 		g.AttachTracer(tracer)
 	}
+	reg := stats.NewRegistry()
+	g.Register(reg)
+	if tracer != nil {
+		reg.Gauge("trace.dropped", func() int64 { return int64(tracer.Dropped()) })
+	}
+	var sampler *stats.Sampler
+	if rc.Sample > 0 {
+		sampler = stats.NewSampler(reg, rc.Sample)
+	}
 	start := time.Now()
-	g.Run()
+	if sampler != nil {
+		g.RunSampled(sampler)
+	} else {
+		g.Run()
+	}
 	wall := time.Since(start)
 	// The group runs in lockstep, so the longest tenant's cycle count is
 	// the simulated time the host paid for.
@@ -348,6 +449,9 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 			fmt.Printf("  vm: %d pages mapped, L1 TLB %d hit / %d miss, %d demand faults\n",
 				ss.PagesMapped, ss.L1Hits, ss.L1Misses, ss.Faults)
 		}
+		if rc.CPIStack {
+			printCPIStack("  ", st)
+		}
 	}
 	fmt.Println()
 	fmt.Print(tst.String())
@@ -373,10 +477,11 @@ func runTenants(rc runConfig, insts []isa.Inst, tst *trace.Stats) {
 	}
 
 	if rc.StatsJSON != "" {
-		reg := stats.NewRegistry()
-		g.Register(reg)
 		registerHost(reg, cycles, wall)
 		writeStatsJSON(rc.StatsJSON, reg)
+	}
+	if sampler != nil {
+		writeSampleJSON(rc.SampleJSON, sampler)
 	}
 	if tracer != nil {
 		writeTraceJSON(rc.Trace, tracer)
@@ -413,6 +518,25 @@ func writeTraceJSON(path string, tracer *stats.Tracer) {
 	}
 	fmt.Printf("trace: wrote %d events to %s (%d emitted, %d dropped by the ring)\n",
 		tracer.Len(), path, tracer.Total(), tracer.Dropped())
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Printf("warning: the trace ring overwrote %d events (oldest first); raise -tracebuf to keep the whole run\n", d)
+	}
+}
+
+// writeSampleJSON dumps the interval time series recorded by -sample.
+func writeSampleJSON(path string, sampler *stats.Sampler) {
+	fh, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := sampler.WriteJSON(fh); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	if err := fh.Close(); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	fmt.Printf("samples: wrote %d intervals (every %d cycles) to %s\n",
+		len(sampler.Rows()), sampler.Interval(), path)
 }
 
 func fail(format string, args ...any) {

@@ -1,14 +1,20 @@
 // Command momtrace generates a benchmark's dynamic instruction trace and
 // inspects it: stream statistics, instruction mix, Table 1 dimension
-// profile, and optionally a disassembly window.
+// profile, and optionally a disassembly window. -json <file> exports
+// the same profile machine-readably — hierarchical snake_case counter
+// names in the -statsjson key style (trace.total, trace.kind.mom_mem,
+// trace.op.dvload, ...) plus the Table 1 dimension averages — so sweep
+// tooling can consume the instruction mix without scraping the report.
 //
 // Usage:
 //
 //	momtrace -bench gsmencode -isa mom3d
 //	momtrace -bench mpeg2encode -isa mom3d -dump 40 -skip 1000
+//	momtrace -bench gsmencode -isa mom3d -json mix.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ func main() {
 	isaName := flag.String("isa", "mom3d", "ISA variant: mmx, mom, mom3d")
 	dump := flag.Int("dump", 0, "disassemble this many instructions")
 	skip := flag.Int("skip", 0, "skip this many instructions before dumping")
+	jsonFile := flag.String("json", "", "write the instruction-mix profile as JSON to this file")
 	flag.Parse()
 
 	bm, ok := kernels.ByName(*benchName)
@@ -96,4 +103,68 @@ func main() {
 			fmt.Printf("%8d  %s\n", tr.Insts[i].Seq, tr.Insts[i].String())
 		}
 	}
+
+	if *jsonFile != "" {
+		if err := writeJSON(*jsonFile, bm.Name, variant.String(), st); err != nil {
+			fmt.Fprintf(os.Stderr, "momtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("json: wrote the instruction-mix profile to %s\n", *jsonFile)
+	}
+}
+
+// traceDoc is the machine-readable instruction-mix export: counters
+// keyed in the hierarchical snake_case style of momsim -statsjson,
+// and the Table 1 dimension averages as floats. Map keys marshal
+// sorted, so the output is deterministic.
+type traceDoc struct {
+	Bench    string             `json:"bench"`
+	ISA      string             `json:"isa"`
+	Counters map[string]uint64  `json:"counters"`
+	Dims     map[string]float64 `json:"dims,omitempty"`
+}
+
+// jsonKey folds a kind or op display name into the snake_case key
+// style ("mom-mem" → "mom_mem").
+func jsonKey(s string) string { return strings.ReplaceAll(s, "-", "_") }
+
+func writeJSON(path, bench, variant string, st *trace.Stats) error {
+	doc := traceDoc{Bench: bench, ISA: variant, Counters: map[string]uint64{
+		"trace.total":         st.Total,
+		"trace.mem_bytes":     st.MemBytes,
+		"trace.branches":      st.Branches,
+		"trace.taken":         st.Taken,
+		"trace.vec_mem_insts": st.VecMemInsts,
+		"trace.d3_move_elems": st.D3MoveElems,
+	}}
+	for k, n := range st.ByKind {
+		if n > 0 {
+			doc.Counters["trace.kind."+jsonKey(isa.Kind(k).String())] = n
+		}
+	}
+	for op, n := range st.ByOp {
+		if n > 0 {
+			doc.Counters["trace.op."+jsonKey(isa.Op(op).Name())] = n
+		}
+	}
+	if st.VecMemInsts > 0 {
+		d1, d2, d3, mx, has3 := st.Dims()
+		doc.Dims = map[string]float64{"first": d1, "second": d2}
+		if has3 {
+			doc.Dims["third"] = d3
+			doc.Dims["max_third"] = float64(mx)
+			doc.Dims["slices_per_dvload"] = st.SlicesPerLoad()
+		}
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fh.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return fh.Close()
 }

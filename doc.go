@@ -23,7 +23,15 @@
 //   - the Rixner register-file area model reproducing Table 3 exactly
 //     (internal/vreg) and a calibrated power model (internal/power);
 //   - experiment drivers that regenerate every table and figure of the
-//     paper's evaluation (internal/experiments, cmd/momexp).
+//     paper's evaluation (internal/experiments, cmd/momexp);
+//   - whole-pipeline observability (internal/stats): a registered-stats
+//     registry behind momsim -statsjson, CPI-stack cycle attribution
+//     (momsim -cpistack, momexp -cpisweep) whose buckets sum to the
+//     cycle count exactly on both engines, causal span/flow tracing to
+//     Chrome trace JSON (momsim -trace, ring sized by -tracebuf, drops
+//     surfaced via the trace.dropped gauge), an interval time-series
+//     sampler (momsim -sample/-samplejson), and a machine-readable
+//     instruction-mix export (momtrace -json).
 //
 // The benchmarks in bench_test.go regenerate each table and figure; see
 // EXPERIMENTS.md for paper-vs-measured values and DESIGN.md for the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/isa"
+	"repro/internal/stats"
 	"repro/internal/vmem"
 )
 
@@ -30,6 +31,11 @@ type Stats struct {
 	// on a full store buffer.
 	EarlyRetired uint64
 	StallSB      uint64
+
+	// CPI is the cycle-attribution stack (see cpi.go): every cycle the
+	// sim executes or skips lands in exactly one bucket, and the
+	// buckets sum to Cycles — bit-identically on both engines.
+	CPI CPIStack
 }
 
 // IPC returns committed instructions per cycle.
@@ -66,6 +72,14 @@ type robEntry struct {
 	// data is architecturally complete when pend reports ready.
 	// Always nil under the blocking model.
 	pend *vmem.Pending
+
+	// missed records (at issue) that the access filed main-memory
+	// traffic, so the CPI stack can blame its wait on DRAM even under
+	// the blocking model, where done absorbs the whole latency and
+	// pend stays nil. hadWalk records (tracing only) that the access
+	// had an in-flight translation transaction when it issued.
+	missed  bool
+	hadWalk bool
 
 	// Wheel-engine scheduling state (see wheel.go). An unissued entry
 	// is either active — on its queue's evaluation list — or asleep
@@ -169,6 +183,11 @@ type Sim struct {
 	// entry() mask instead of divide on the hottest path; 0 otherwise.
 	robMask uint64
 
+	// tr, when non-nil, receives issue/commit spans and causal flow
+	// events (see spans.go); trTenant tags them with the requestor.
+	tr       *stats.Tracer
+	trTenant int
+
 	now   int64
 	stats Stats
 }
@@ -223,15 +242,23 @@ func (s *Sim) Running() bool {
 	return s.next < len(s.insts) || s.count > 0
 }
 
+// Now returns the core's current cycle — the sampling driver reads it
+// to stamp interval rows at the cycle the engine actually reached
+// (the wheel can land past a boundary).
+func (s *Sim) Now() int64 { return s.now }
+
 // Step advances the pipeline one cycle in the same stage order the
-// original monolithic loop used: prune, commit, issue, dispatch.
+// original monolithic loop used: prune, commit, issue, dispatch — then
+// charges the cycle to its CPI bucket before the clock moves.
 func (s *Sim) Step() {
 	s.prunePending()
-	if s.commit() {
+	committed := s.commit()
+	if committed {
 		s.lastCommitCycle = s.now
 	}
 	s.issue()
 	s.next = s.dispatch(s.insts, s.next)
+	s.chargeCPI(1, committed)
 	s.now++
 	if s.now-s.lastCommitCycle > noProgressLimit {
 		panic(fmt.Sprintf("core: no commit progress at cycle %d (trace pos %d/%d, rob %d)",
@@ -260,6 +287,11 @@ func (s *Sim) Finish() *Stats {
 		if d := h.Done(); d > s.stats.Cycles {
 			s.stats.Cycles = d
 		}
+	}
+	// The drain tail: cycles between the last executed step and the
+	// last fill landing close the CPI stack's conservation invariant.
+	if d := s.stats.Cycles - s.now; d > 0 {
+		s.stats.CPI.Drain += uint64(d)
 	}
 	return &s.stats
 }
@@ -357,6 +389,9 @@ func (s *Sim) commit() bool {
 		}
 		s.stats.Committed++
 		s.stats.ByKind[in.Kind]++
+		if s.tr != nil {
+			s.traceCommit(e)
+		}
 		e.valid = false
 		s.head = (s.head + 1) % s.cfg.Window
 		s.count--
@@ -489,13 +524,18 @@ func (s *Sim) issue() {
 			// per-cycle retries here and the wheel's sparse retries
 			// leave identical TLB state (see internal/vm).
 			if sp := s.mem.Tim.VA; sp != nil {
+				if s.tr != nil && sp.InFlight(e.seq) {
+					e.hadWalk = true // peek before Ready retires the transaction
+				}
 				if until := sp.Ready(e.in, e.seq, s.now); until > s.now {
 					s.xlatWake = until
 					return 0, false
 				}
 			}
+			sig := s.missSig()
 			done, pend := s.mem.VM.Issue(e.in, s.now)
 			e.pend = pend
+			e.missed = pend != nil || s.missSig() != sig
 			return done, true
 		}
 		if l1Used >= s.cfg.L1Ports {
@@ -505,14 +545,19 @@ func (s *Sim) issue() {
 		// holds no L1 port, and once both pass the access always issues,
 		// so the transaction retires exactly once.
 		if sp := s.mem.Tim.VA; sp != nil {
+			if s.tr != nil && sp.InFlight(e.seq) {
+				e.hadWalk = true
+			}
 			if until := sp.Ready(e.in, e.seq, s.now); until > s.now {
 				s.xlatWake = until
 				return 0, false
 			}
 		}
 		l1Used++
+		sig := s.missSig()
 		done, pend := s.mem.ScalarAccess(e.in, s.now)
 		e.pend = pend
+		e.missed = pend != nil || s.missSig() != sig
 		return done, true
 	})
 }
@@ -558,6 +603,9 @@ func (s *Sim) issueQueue(q queue, width int, fire func(e *robEntry) (int64, bool
 				e.done = done
 				if e.donePtr == 0 {
 					e.donePtr = done
+				}
+				if s.tr != nil {
+					s.traceIssue(e)
 				}
 				s.issueGen++
 				issued++

@@ -270,6 +270,9 @@ func (s *Sim) issueQueueWheel(q queue, width int, fire func(e *robEntry) (int64,
 		if e.donePtr == 0 {
 			e.donePtr = done
 		}
+		if s.tr != nil {
+			s.traceIssue(e)
+		}
 		s.issueGen++
 		issued++
 		if s.wakeWaiters(e, q); len(s.qActive[q]) > 0 {
@@ -331,6 +334,9 @@ func (s *Sim) issueQueueWheel(q queue, width int, fire func(e *robEntry) (int64,
 		e.done = done
 		if e.donePtr == 0 {
 			e.donePtr = done
+		}
+		if s.tr != nil {
+			s.traceIssue(e)
 		}
 		s.issueGen++
 		issued++
@@ -580,6 +586,12 @@ func (s *Sim) SkipTo(t int64) {
 	if n <= 0 {
 		return
 	}
+	// Bulk-charge the window's CPI bucket under the same frozen-
+	// predicate argument: the classifier's verdict at s.now holds for
+	// every skipped cycle, and the per-handle budget cursors drain
+	// identically whether consumed 1×n or n×1. A commit is never
+	// skipped, so committed is false by construction.
+	s.chargeCPI(uint64(n), false)
 	if s.count > 0 {
 		e := &s.rob[s.head]
 		outstanding := e.issued && e.done <= s.now &&

@@ -76,6 +76,13 @@ type Completion struct {
 	Done    int64
 	Channel int
 	ID      uint64 // the submitting Request's ID, carried through verbatim
+
+	// QoSDelay is the credit-yield penalty the channel scheduler
+	// imposed: cycles this read sat eligible but deferred so an
+	// under-share tenant could use the channel. Zero on writes, on the
+	// fixed-latency backend, and whenever QoS scheduling is off. The
+	// core's CPI stack splits it out of the raw DRAM wait.
+	QoSDelay int64
 }
 
 // Backend is one main-memory model. Submit schedules a whole batch of

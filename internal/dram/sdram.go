@@ -1110,6 +1110,11 @@ func (s *SDRAM) qosPick(c *channel, batch []Request, pend []int) int {
 				if ts := s.tenantShard(r.ID); ts != nil {
 					ts.QoSDeferred++
 				}
+				// Stamp the yielded read's completion with one transfer
+				// slot — the turn it gave up — so the requestor's CPI
+				// stack can attribute the added wait to QoS rather than
+				// raw DRAM service.
+				s.comps[pend[i]].QoSDelay += s.cfg.TBurst
 			}
 		}
 	}

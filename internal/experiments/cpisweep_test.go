@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// cpiSweepRunner keeps the sweep test fast: two scaled-down kernels
+// with opposite memory behavior — the compute-dense GSM encoder and
+// the streaming motion searcher.
+func cpiSweepRunner() *Runner {
+	return NewRunnerWith([]kernels.Benchmark{
+		kernels.GSMEncode(kernels.SmallGSMEncConfig()),
+		kernels.MotionSearch(kernels.SmallMotionSearchConfig()),
+	})
+}
+
+func TestCPISweepShape(t *testing.T) {
+	rep := CPISweep(cpiSweepRunner(), "test-small")
+	if want := 2 * len(CPISweepSpecs); len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+	for _, r := range rep.Rows {
+		var sum uint64
+		for _, n := range r.Stack {
+			sum += n
+		}
+		if sum != uint64(r.Cycles) {
+			t.Errorf("%s: exported stack sums to %d, run took %d cycles", r.Config, sum, r.Cycles)
+		}
+		if r.Stack["busy"] == 0 {
+			t.Errorf("%s: no busy cycles — the run retired nothing?", r.Config)
+		}
+	}
+	// The blocking flat-latency rows serialize every miss, so the
+	// memory share of the stack must shrink when the MSHR file lands.
+	memShare := func(cfg string) float64 {
+		for _, r := range rep.Rows {
+			if r.Config == cfg {
+				mem := r.Stack["dram_wait"] + r.Stack["mshr_full"] + r.Stack["qos_yield"]
+				return float64(mem) / float64(r.Cycles)
+			}
+		}
+		t.Fatalf("row %q missing", cfg)
+		return 0
+	}
+	blocking := memShare("motionsearch/MOM+3D/fixed")
+	mshr := memShare("motionsearch/MOM+3D/sdram/line/frfcfs/mshr8")
+	if blocking == 0 {
+		t.Error("blocking motionsearch row shows no memory wait at all")
+	}
+	if mshr >= blocking {
+		t.Errorf("mshr8 memory share %.2f >= blocking %.2f — overlap bought nothing?", mshr, blocking)
+	}
+}
+
+func TestCPISweepRenderAndJSON(t *testing.T) {
+	rep := CPISweep(cpiSweepRunner(), "test-small")
+	out := RenderCPISweep(rep)
+	for _, want := range []string{"CPI stacks", "busy", "dram_wait", "gsmencode", "motionsearch", "conservation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back CPISweepReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not parse back: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Suite != rep.Suite {
+		t.Errorf("round trip lost rows: got %d/%q, want %d/%q",
+			len(back.Rows), back.Suite, len(rep.Rows), rep.Suite)
+	}
+}

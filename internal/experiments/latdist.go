@@ -22,9 +22,10 @@ const LatDistBench = "motionsearch"
 // time (a blocking pipeline never queues more than one read).
 const latDistMSHRs = 8
 
-// LatDistRow holds the three per-request latency distributions of one
+// LatDistRow holds the four per-request latency distributions of one
 // timing profile: where a read waited (queue), how long the banks took
-// (service), and the end-to-end miss-to-fill time the pipeline saw.
+// (service), the end-to-end miss-to-fill time the pipeline saw, and
+// how long address translation stalled issue on a page-table walk.
 type LatDistRow struct {
 	Profile string
 	Spec    string
@@ -32,11 +33,14 @@ type LatDistRow struct {
 	Wait    stats.HistSnapshot // dram.read_wait: admission to first service
 	Service stats.HistSnapshot // dram.read_service: service start to data
 	Fill    stats.HistSnapshot // vmem.mshr.fill: miss allocation to fill
+	Walk    stats.HistSnapshot // vm.walk.latency: TLB miss to translation
 }
 
-// latDistSpec composes the backend spec for one profile.
+// latDistSpec composes the backend spec for one profile. Translation is
+// on (first-touch placement) so the walk-latency distribution sits next
+// to the DRAM ones it feeds.
 func latDistSpec(profile string) string {
-	return fmt.Sprintf("sdram/line/frfcfs/%s/mshr%d", profile, latDistMSHRs)
+	return fmt.Sprintf("sdram/line/frfcfs/%s/mshr%d/va", profile, latDistMSHRs)
 }
 
 // LatDist measures the read-latency distributions of each timing
@@ -54,6 +58,7 @@ func LatDist(r *Runner) []LatDistRow {
 			Wait:    res.Snap.Hists["dram.read_wait"],
 			Service: res.Snap.Hists["dram.read_service"],
 			Fill:    res.Snap.Hists["vmem.mshr.fill"],
+			Walk:    res.Snap.Hists["vm.walk.latency"],
 		})
 	}
 	return rows
@@ -63,27 +68,28 @@ func LatDist(r *Runner) []LatDistRow {
 // one row per profile and one column group per distribution.
 func RenderLatDist(rows []LatDistRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Memory read-latency distributions — %s, MOM+3D, vector cache + 3D, sdram/line/frfcfs/<prof>/mshr%d\n",
+	fmt.Fprintf(&b, "Memory read-latency distributions — %s, MOM+3D, vector cache + 3D, sdram/line/frfcfs/<prof>/mshr%d/va\n",
 		LatDistBench, latDistMSHRs)
 	fmt.Fprintf(&b, "%-5s %9s %6s |", "prof", "cycles", "reads")
-	for _, g := range []string{"queue-wait", "service", "miss-to-fill"} {
+	for _, g := range []string{"queue-wait", "service", "miss-to-fill", "tlb-walk"} {
 		fmt.Fprintf(&b, " %25s |", g)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-5s %9s %6s |", "", "", "")
-	for range 3 {
+	for range 4 {
 		fmt.Fprintf(&b, " %6s %5s %5s %6s |", "mean", "p50", "p95", "max")
 	}
 	b.WriteByte('\n')
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-5s %9d %6d |", r.Profile, r.Cycles, r.Wait.Count)
-		for _, h := range []stats.HistSnapshot{r.Wait, r.Service, r.Fill} {
+		for _, h := range []stats.HistSnapshot{r.Wait, r.Service, r.Fill, r.Walk} {
 			fmt.Fprintf(&b, " %6.1f %5d %5d %6d |",
 				h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max)
 		}
 		b.WriteByte('\n')
 	}
 	b.WriteString("latencies in cycles; p50/p95 are log2-bucket upper bounds. queue-wait + service = per-read\n")
-	b.WriteString("controller latency; miss-to-fill adds the L2 round trip and any MSHR batching delay.\n")
+	b.WriteString("controller latency; miss-to-fill adds the L2 round trip and any MSHR batching delay;\n")
+	b.WriteString("tlb-walk is the translation stall an L2-TLB miss imposed on issue.\n")
 	return b.String()
 }

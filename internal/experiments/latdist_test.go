@@ -28,6 +28,11 @@ func TestLatDistShape(t *testing.T) {
 			t.Errorf("%s: empty distribution (wait %d, service %d, fill %d) — the streaming kernel must miss",
 				r.Profile, r.Wait.Count, r.Service.Count, r.Fill.Count)
 		}
+		// Translation is on in the spec, so the walk distribution must be
+		// live too: a streaming working set cannot fit the L2 TLB.
+		if r.Walk.Count == 0 {
+			t.Errorf("%s: walk-latency distribution is empty with /va in the spec", r.Profile)
+		}
 		// Wait and service see the same reads; fills cover at least the
 		// demand misses (prefetch fills would only add to them).
 		if r.Wait.Count != r.Service.Count {
@@ -48,7 +53,7 @@ func TestLatDistShape(t *testing.T) {
 
 func TestLatDistRender(t *testing.T) {
 	out := RenderLatDist(LatDist(latDistRunner()))
-	for _, want := range []string{"read-latency distributions", "queue-wait", "service", "miss-to-fill", "ddr", "hbm"} {
+	for _, want := range []string{"read-latency distributions", "queue-wait", "service", "miss-to-fill", "tlb-walk", "ddr", "hbm"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render lacks %q:\n%s", want, out)
 		}

@@ -26,6 +26,43 @@ import (
 	"repro/internal/vmem"
 )
 
+// checkStructCoverage walks every exported field of typ and asserts its
+// registered name exists in snap, mirroring AddStruct's kind dispatch:
+// arrays expand to indexed names, *Histogram fields must appear in
+// Hists, nested structs recurse under their snake-cased prefix (so the
+// grouped counters of core.Stats.CPI are covered field by field), and
+// everything else must answer Has.
+func checkStructCoverage(t *testing.T, snap stats.Snapshot, prefix string, typ reflect.Type) {
+	t.Helper()
+	histType := reflect.TypeOf((*stats.Histogram)(nil))
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := prefix + "." + stats.SnakeCase(f.Name)
+		switch {
+		case f.Type.Kind() == reflect.Array:
+			for j := 0; j < f.Type.Len(); j++ {
+				if idx := fmt.Sprintf("%s.%d", name, j); !snap.Has(idx) {
+					t.Errorf("%s.%s: indexed counter %q unregistered", typ, f.Name, idx)
+				}
+			}
+		case f.Type == histType:
+			if _, ok := snap.Hists[name]; !ok {
+				t.Errorf("%s.%s: histogram %q unregistered", typ, f.Name, name)
+			}
+		case f.Type.Kind() == reflect.Struct:
+			checkStructCoverage(t, snap, name, f.Type)
+		default:
+			if !snap.Has(name) {
+				t.Errorf("%s.%s: %q unregistered — wire it into AddStruct or the Register seam",
+					typ, f.Name, name)
+			}
+		}
+	}
+}
+
 // loadedSystem builds a memory system that instantiates every optional
 // subsystem, plus a core.Stats, and registers both.
 func loadedSystem(t *testing.T) (*stats.Registry, *core.MemSystem) {
@@ -76,32 +113,8 @@ func TestRegistryCoversAllStats(t *testing.T) {
 		{"vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
 		{"vm.walk", reflect.TypeOf(vm.WalkStats{})},
 	}
-	histType := reflect.TypeOf((*stats.Histogram)(nil))
 	for _, c := range cases {
-		for i := 0; i < c.typ.NumField(); i++ {
-			f := c.typ.Field(i)
-			if !f.IsExported() {
-				continue
-			}
-			name := c.prefix + "." + stats.SnakeCase(f.Name)
-			switch {
-			case f.Type.Kind() == reflect.Array:
-				for j := 0; j < f.Type.Len(); j++ {
-					if idx := fmt.Sprintf("%s.%d", name, j); !snap.Has(idx) {
-						t.Errorf("%s.%s: indexed counter %q unregistered", c.typ, f.Name, idx)
-					}
-				}
-			case f.Type == histType:
-				if _, ok := snap.Hists[name]; !ok {
-					t.Errorf("%s.%s: histogram %q unregistered", c.typ, f.Name, name)
-				}
-			default:
-				if !snap.Has(name) {
-					t.Errorf("%s.%s: %q unregistered — wire it into AddStruct or the Register seam",
-						c.typ, f.Name, name)
-				}
-			}
-		}
+		checkStructCoverage(t, snap, c.prefix, c.typ)
 	}
 }
 
@@ -175,32 +188,8 @@ func TestRegistryCoversTenantShards(t *testing.T) {
 		{"tenant.0.vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
 		{"tenant.1.vm.tlb", reflect.TypeOf(vm.SpaceStats{})},
 	}
-	histType := reflect.TypeOf((*stats.Histogram)(nil))
 	for _, c := range cases {
-		for i := 0; i < c.typ.NumField(); i++ {
-			f := c.typ.Field(i)
-			if !f.IsExported() {
-				continue
-			}
-			name := c.prefix + "." + stats.SnakeCase(f.Name)
-			switch {
-			case f.Type.Kind() == reflect.Array:
-				for j := 0; j < f.Type.Len(); j++ {
-					if idx := fmt.Sprintf("%s.%d", name, j); !snap.Has(idx) {
-						t.Errorf("%s.%s: indexed counter %q unregistered", c.typ, f.Name, idx)
-					}
-				}
-			case f.Type == histType:
-				if _, ok := snap.Hists[name]; !ok {
-					t.Errorf("%s.%s: histogram %q unregistered", c.typ, f.Name, name)
-				}
-			default:
-				if !snap.Has(name) {
-					t.Errorf("%s.%s: %q unregistered — wire it into Group.Register",
-						c.typ, f.Name, name)
-				}
-			}
-		}
+		checkStructCoverage(t, snap, c.prefix, c.typ)
 	}
 	for _, name := range []string{
 		"tenant.0.vmem.scalar_l2_accesses",

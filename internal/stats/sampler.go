@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Sampler turns a registry into an interval time series: each call to
+// Sample snapshots every registered counter and gauge and records the
+// delta since the previous sample. Counters report per-interval deltas
+// (zero deltas are dropped, so quiet intervals stay small); gauges
+// report their absolute value at the sample point. Histograms are
+// skipped — their full distributions belong to the end-of-run
+// snapshot, not a per-interval series.
+//
+// The driver owns the cadence: momsim's -sample loop calls Sample at
+// every interval boundary the engine actually executes (the wheel may
+// land past a boundary after a SkipTo; the sample is stamped with the
+// real cycle), so the series is deterministic for a given engine.
+type Sampler struct {
+	reg   *Registry
+	every int64
+	prev  map[string]uint64
+	rows  []SampleRow
+}
+
+// SampleRow is one interval of the time series: the cycle it was taken
+// at, the counter deltas since the previous row (zero deltas omitted),
+// and the absolute gauge values.
+type SampleRow struct {
+	Cycle    int64             `json:"cycle"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	Gauges   map[string]int64  `json:"gauges,omitempty"`
+}
+
+// sampleDoc is the exported JSON document: the interval the driver
+// asked for plus the rows it took.
+type sampleDoc struct {
+	Interval int64       `json:"interval"`
+	Rows     []SampleRow `json:"rows"`
+}
+
+// NewSampler returns a sampler over reg with the requested interval
+// (recorded for the export header; the driver enforces the cadence).
+func NewSampler(reg *Registry, every int64) *Sampler {
+	return &Sampler{reg: reg, every: every, prev: map[string]uint64{}}
+}
+
+// Interval returns the requested sampling interval in cycles.
+func (s *Sampler) Interval() int64 { return s.every }
+
+// Sample records one row stamped at cycle: counter deltas since the
+// previous call, absolute gauges.
+func (s *Sampler) Sample(cycle int64) {
+	snap := s.reg.Snapshot()
+	row := SampleRow{Cycle: cycle}
+	for name, v := range snap.Counters {
+		if d := v - s.prev[name]; d != 0 {
+			if row.Counters == nil {
+				row.Counters = map[string]uint64{}
+			}
+			row.Counters[name] = d
+		}
+		s.prev[name] = v
+	}
+	if len(snap.Gauges) > 0 {
+		row.Gauges = make(map[string]int64, len(snap.Gauges))
+		for name, v := range snap.Gauges {
+			row.Gauges[name] = v
+		}
+	}
+	s.rows = append(s.rows, row)
+}
+
+// Rows returns the recorded series.
+func (s *Sampler) Rows() []SampleRow { return s.rows }
+
+// WriteJSON writes the series as indented JSON. Map keys marshal
+// sorted, so the output is deterministic.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sampleDoc{Interval: s.every, Rows: s.rows})
+}

@@ -97,11 +97,12 @@ func (r *Registry) OnSnapshot(fn func()) { r.hooks = append(r.hooks, fn) }
 // AddStruct registers every exported field of the struct pointed to by
 // v under prefix: uint64 fields become counters, int/int64 fields
 // become gauges, [N]uint64 arrays become one counter per index
-// ("prefix.name.i"), and non-nil *Histogram fields register as
-// histograms. Field names convert to snake_case ("RowHits" →
-// "row_hits"). Any other exported field type panics — a new stat field
-// must either fit the taxonomy or extend it here, so silent stat drift
-// is impossible.
+// ("prefix.name.i"), non-nil *Histogram fields register as histograms,
+// and nested struct fields recurse under "prefix.name" (how core.Stats
+// registers its CPI stack as core.cpi.*). Field names convert to
+// snake_case ("RowHits" → "row_hits"). Any other exported field type
+// panics — a new stat field must either fit the taxonomy or extend it
+// here, so silent stat drift is impossible.
 func (r *Registry) AddStruct(prefix string, v any) {
 	rv := reflect.ValueOf(v)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() || rv.Elem().Kind() != reflect.Struct {
@@ -142,6 +143,8 @@ func (r *Registry) AddStruct(prefix string, v any) {
 			if h != nil {
 				r.Hist(name, h)
 			}
+		case reflect.Struct:
+			r.AddStruct(name, fv.Addr().Interface())
 		default:
 			panic(fmt.Sprintf("stats: unsupported field %s (%s)", name, f.Type))
 		}

@@ -12,9 +12,14 @@ import (
 // without limit (the ring keeps the most recent events).
 const DefaultTraceEvents = 1 << 20
 
-// Event is one cycle-stamped trace event. Dur == 0 renders as a
-// Chrome instant event ("ph":"i"), Dur > 0 as a complete event
-// ("ph":"X") spanning [Cycle, Cycle+Dur).
+// Event is one cycle-stamped trace event. With Ph zero the legacy
+// shape applies: Dur == 0 renders as a Chrome instant event
+// ("ph":"i"), Dur > 0 as a complete event ("ph":"X") spanning
+// [Cycle, Cycle+Dur). A nonzero Ph selects a causal phase directly:
+// 'B'/'E' open and close a nestable span on (pid, tid), and
+// 's'/'t'/'f' are flow start/step/finish events whose ID field links
+// an instruction to its TLB walk, MSHR entry and DRAM burst across
+// lanes.
 type Event struct {
 	Cycle  int64  // start cycle
 	Dur    int64  // duration in cycles; 0 = instant
@@ -24,6 +29,7 @@ type Event struct {
 	ID     uint64 // request/entry identity, 0 if not applicable
 	Lane   int    // renders as the Chrome tid: channel, bank, stream...
 	Tenant int    // requestor index; renders as the Chrome pid (Tenant+1)
+	Ph     byte   // 0 = legacy X/i; 'B','E' span; 's','t','f' flow
 }
 
 // Tracer is a ring buffer of cycle-stamped events. A nil *Tracer is
@@ -117,6 +123,8 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   any            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -152,18 +160,37 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 			PID:  e.Tenant + 1,
 			TID:  e.Lane,
 		}
-		if e.Dur > 0 {
-			ce.Ph = "X"
-			ce.Dur = e.Dur
-		} else {
-			ce.Ph = "i"
-			ce.S = "t" // instant scope: thread
+		switch e.Ph {
+		case 0:
+			if e.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = e.Dur
+			} else {
+				ce.Ph = "i"
+				ce.S = "t" // instant scope: thread
+			}
+		case 'B', 'E':
+			// Duration-event pair: Chrome nests same-tid spans by
+			// begin/end order, giving per-instruction issue→commit
+			// slices that memory sub-spans nest inside.
+			ce.Ph = string(rune(e.Ph))
+		case 's', 't', 'f':
+			// Flow event: the (cat, name, id) triple is the chain key
+			// Chrome draws arrows along; bp:"e" binds the finish to the
+			// enclosing slice rather than the next one.
+			ce.Ph = string(rune(e.Ph))
+			ce.ID = e.ID
+			if e.Ph == 'f' {
+				ce.BP = "e"
+			}
+		default:
+			ce.Ph = string(rune(e.Ph))
 		}
 		args := map[string]any{}
 		if e.Addr != 0 {
 			args["addr"] = e.Addr
 		}
-		if e.ID != 0 {
+		if e.ID != 0 && ce.ID == nil {
 			args["id"] = e.ID
 		}
 		if len(args) > 0 {

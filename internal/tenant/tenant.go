@@ -196,10 +196,65 @@ func (g *Group) TenantStatsOf(i int) *dram.TenantStats {
 }
 
 // AttachTracer wires the cycle-stamped event tracer into the shared
-// memory system (backend + MSHR file + prefetcher); events separate
-// per tenant through their requestor tags.
+// memory system (backend + MSHR file + prefetcher) and into every
+// tenant's core pipeline (issue→commit spans and causal flow events);
+// events separate per tenant through their requestor tags.
 func (g *Group) AttachTracer(tr *stats.Tracer) {
 	g.mems[0].AttachTracer(tr)
+	for i, s := range g.sims {
+		s.SetTracer(tr, i)
+	}
+}
+
+// RunSampled is Run with an interval sampler: after every lockstep
+// round it samples the registry whenever the group clock has crossed
+// the next interval boundary, stamping each row with the cycle the
+// engine actually reached (under the wheel a round can jump far past a
+// boundary; the row records the landing cycle, so both engines produce
+// one row per crossed boundary). A nil sampler degenerates to Run.
+func (g *Group) RunSampled(s *stats.Sampler) {
+	if s == nil {
+		g.Run()
+		return
+	}
+	if g.done {
+		return
+	}
+	next := s.Interval()
+	for {
+		any := false
+		for _, sim := range g.sims {
+			if sim.Running() {
+				sim.Step()
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		if g.wheel {
+			g.skipRound()
+		}
+		// The group clock is the furthest any tenant reached; finished
+		// tenants' clocks freeze, running ones move in lockstep.
+		now := int64(0)
+		for _, sim := range g.sims {
+			if t := sim.Now(); t > now {
+				now = t
+			}
+		}
+		if now >= next {
+			s.Sample(now)
+			for next <= now {
+				next += s.Interval()
+			}
+		}
+	}
+	for i, sim := range g.sims {
+		g.stats[i] = sim.Finish()
+	}
+	g.mems[0].Drain()
+	g.done = true
 }
 
 // Register wires the whole group into a stats registry: the shared

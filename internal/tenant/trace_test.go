@@ -1,0 +1,268 @@
+package tenant_test
+
+// The whole-pipeline observability net at the system level: a 2-tenant
+// group on the shared QoS backend, run under the event-wheel engine
+// with the tracer attached, must (1) keep every tenant's CPI stack
+// conserved and bit-identical across engines, and (2) export a Chrome
+// trace that parses back coherently — issue→commit spans nest like a
+// stack per (pid, tid), every causal flow chain resolves to its start
+// event, and a deliberately tiny ring that wrapped during SkipTo still
+// renders with monotonic timestamps.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/stats"
+	"repro/internal/tenant"
+	"repro/internal/vmem"
+)
+
+// runTracedTenants runs a 2-tenant GSM-encode group under the wheel
+// engine on the fully-loaded shared backend (MSHR file, prefetcher,
+// QoS, virtual addressing) with a tracer of the given capacity.
+func runTracedTenants(t *testing.T, mode engine.Mode, capacity int) (*tenant.Group, *stats.Tracer) {
+	t.Helper()
+	backend, knobs, err := dram.ParseSpecFull("sdram/line/frfcfs/mshr8/pf4/tn2/qos/va", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tim := vmem.Timing{L2Latency: 20, MemLatency: 100, Backend: backend,
+		MSHRs: knobs.MSHRs, PFStreams: knobs.PFStreams, PFDegree: knobs.PFDegree}
+	vmsys, err := core.NewVM(knobs.VA, 2, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.MOMCore()
+	insts := traceOf(kernels.GSMEncode(kernels.SmallGSMEncConfig()), kernels.MOM3D)
+	g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D, Tim: tim,
+		Lanes: cfg.Lanes, Traces: [][]isa.Inst{insts, insts}, Engine: mode, VM: vmsys})
+	tr := stats.NewTracer(capacity)
+	g.AttachTracer(tr)
+	g.Run()
+	return g, tr
+}
+
+// TestCPIConservationTenants: per-tenant conservation on the shared
+// backend under both engines, and bit-identical stacks across them —
+// the multi-tenant face of core's golden-matrix invariant. QoS is on,
+// so the QosYield bucket is live here.
+func TestCPIConservationTenants(t *testing.T) {
+	var stacks [2][2]core.CPIStack
+	for mi, mode := range []engine.Mode{engine.Step, engine.Wheel} {
+		g, _ := runTracedTenants(t, mode, 1<<10)
+		for i := 0; i < g.N(); i++ {
+			st := g.Stats(i)
+			if got, want := st.CPI.Sum(), uint64(st.Cycles); got != want {
+				t.Errorf("[%v] tenant %d: CPI stack sums to %d, run took %d cycles",
+					mode, i, got, want)
+			}
+			stacks[mi][i] = st.CPI
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if stacks[0][i] != stacks[1][i] {
+			t.Errorf("tenant %d: CPI stacks diverged across engines:\n  step  %+v\n  wheel %+v",
+				i, stacks[0][i], stacks[1][i])
+		}
+	}
+}
+
+// TestQosYieldAttribution drives the four-way motionsearch storm
+// through the non-blocking file with QoS scheduling on — the one
+// configuration where the channel scheduler actually defers reads —
+// and asserts the deferral cycles surface in the CPI stacks' QosYield
+// bucket while every tenant stays conserved.
+func TestQosYieldAttribution(t *testing.T) {
+	bm, ok := kernels.ByName("motionsearch")
+	if !ok {
+		t.Fatal("motionsearch missing from the suite")
+	}
+	insts := traceOf(bm, kernels.MOM3D)
+	tim := timingFor(t, "sdram/line/frfcfs/mshr8/tn4/qos")
+	cfg := core.MOMCore()
+	g := tenant.New(tenant.Options{Core: cfg, Kind: core.MemVectorCache3D, Tim: tim,
+		Lanes: cfg.Lanes, Traces: [][]isa.Inst{insts, insts, insts, insts},
+		Engine: engine.Wheel})
+	g.Run()
+	if tim.Backend.Stats().QoSDeferred == 0 {
+		t.Fatal("QoS never deferred; the attribution check below would be vacuous")
+	}
+	var yielded uint64
+	for i := 0; i < g.N(); i++ {
+		st := g.Stats(i)
+		if got, want := st.CPI.Sum(), uint64(st.Cycles); got != want {
+			t.Errorf("tenant %d: CPI stack sums to %d, run took %d cycles", i, got, want)
+		}
+		yielded += st.CPI.QosYield
+	}
+	if yielded == 0 {
+		t.Errorf("backend deferred %d scheduling turns but no tenant's stack shows QosYield",
+			tim.Backend.Stats().QoSDeferred)
+	}
+}
+
+// parsedEvent mirrors the exported Chrome event shape; IDs decode as
+// json.Number so 64-bit flow IDs (the xlat chains set bit 63) compare
+// exactly instead of through float64.
+type parsedEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	TS   int64       `json:"ts"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	ID   json.Number `json:"id"`
+}
+
+type parsedTrace struct {
+	TraceEvents []parsedEvent              `json:"traceEvents"`
+	Meta        map[string]json.RawMessage `json:"otherData"`
+}
+
+func parseChrome(t *testing.T, tr *stats.Tracer) parsedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("WriteChromeJSON: %v", err)
+	}
+	dec := json.NewDecoder(&buf)
+	dec.UseNumber()
+	var doc parsedTrace
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace JSON does not parse back: %v", err)
+	}
+	return doc
+}
+
+// TestTraceParseBackWheelTenants parses the full-ring export: span
+// begin/end events must balance like a stack on every (pid, tid) lane,
+// and every flow step/finish must belong to a chain some 's' started.
+func TestTraceParseBackWheelTenants(t *testing.T) {
+	_, tr := runTracedTenants(t, engine.Wheel, 1<<22)
+	if tr.Dropped() != 0 {
+		t.Fatalf("ring wrapped (%d dropped) — grow the capacity so the structural checks see every event", tr.Dropped())
+	}
+	doc := parseChrome(t, tr)
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Span nesting: per (pid, tid), E closes the most recent open B of
+	// the same name; depth never goes negative; everything closes.
+	type lane struct{ pid, tid int }
+	spans := map[lane][]string{}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.PID] = true
+		l := lane{e.PID, e.TID}
+		switch e.Ph {
+		case "B":
+			spans[l] = append(spans[l], e.Name)
+		case "E":
+			st := spans[l]
+			if len(st) == 0 {
+				t.Fatalf("lane %+v: E %q with no open span at ts %d", l, e.Name, e.TS)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				t.Fatalf("lane %+v: E %q does not match open span %q at ts %d", l, e.Name, top, e.TS)
+			}
+			spans[l] = st[:len(st)-1]
+		}
+	}
+	for l, st := range spans {
+		if len(st) != 0 {
+			t.Errorf("lane %+v: %d spans never closed: %v", l, len(st), st)
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("expected both tenants as Chrome pids 1 and 2, saw %v", pids)
+	}
+
+	// Flow chains: the (cat, name, id) triple keys a chain; every chain
+	// with a 't' or 'f' must have been started by an 's', and the trace
+	// must exercise both chain families end to end.
+	type chain struct{ cat, name, id string }
+	phases := map[chain]map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s", "t", "f":
+			c := chain{e.Cat, e.Name, e.ID.String()}
+			if phases[c] == nil {
+				phases[c] = map[string]bool{}
+			}
+			phases[c][e.Ph] = true
+		}
+	}
+	var fullDep, xlat int
+	for c, ph := range phases {
+		if (ph["t"] || ph["f"]) && !ph["s"] {
+			t.Errorf("flow chain %+v has %v but no start event", c, ph)
+		}
+		if c.cat == "dep" && ph["s"] && ph["t"] && ph["f"] {
+			fullDep++
+		}
+		if c.cat == "xlat" && ph["s"] && ph["f"] {
+			xlat++
+		}
+	}
+	if fullDep == 0 {
+		t.Error("no instruction→MSHR→fill flow chain resolved s→t→f")
+	}
+	if xlat == 0 {
+		t.Error("no translation-walk flow chain resolved s→f")
+	}
+
+	// Spans and chains must come from the core, not just the memory
+	// system: at least one issue→commit slice per tenant.
+	corePerPID := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "core" && e.Ph == "B" {
+			corePerPID[e.PID]++
+		}
+	}
+	for pid := 1; pid <= 2; pid++ {
+		if corePerPID[pid] == 0 {
+			t.Errorf("tenant pid %d emitted no core spans", pid)
+		}
+	}
+}
+
+// TestTraceRingWrapMonotonic drives the same run through a ring far too
+// small for it, so the ring overwrites continuously (including across
+// SkipTo jumps), and asserts the export stays well-formed: it parses,
+// timestamps are non-decreasing, and the drop accounting in the
+// document matches the tracer's.
+func TestTraceRingWrapMonotonic(t *testing.T) {
+	_, tr := runTracedTenants(t, engine.Wheel, 512)
+	if tr.Dropped() == 0 {
+		t.Fatal("ring did not wrap — shrink the capacity; this test exists to cover overwrite")
+	}
+	doc := parseChrome(t, tr)
+	if len(doc.TraceEvents) != 512 {
+		t.Errorf("wrapped ring retained %d events, want its capacity 512", len(doc.TraceEvents))
+	}
+	for i := 1; i < len(doc.TraceEvents); i++ {
+		if doc.TraceEvents[i].TS < doc.TraceEvents[i-1].TS {
+			t.Fatalf("timestamps regress at event %d: %d after %d",
+				i, doc.TraceEvents[i].TS, doc.TraceEvents[i-1].TS)
+		}
+	}
+	var dropped uint64
+	if err := json.Unmarshal(doc.Meta["droppedEvents"], &dropped); err != nil {
+		t.Fatalf("otherData.droppedEvents: %v", err)
+	}
+	if dropped != tr.Dropped() {
+		t.Errorf("document reports %d dropped events, tracer reports %d", dropped, tr.Dropped())
+	}
+	if fmt.Sprint(tr.Total()) == "0" {
+		t.Error("tracer total is zero after a traced run")
+	}
+}

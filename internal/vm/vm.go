@@ -315,8 +315,34 @@ func (sp *Space) Ready(in *isa.Inst, seq uint64, now int64) int64 {
 	}
 	if ready > now {
 		sp.inflight[seq] = &xact{ready: ready, pages: append([]uint64(nil), sp.pages...)}
+		if sp.vm.tr != nil {
+			// Open a walk flow chain for this stalled instruction; the
+			// core closes it when the instruction finally issues. The high
+			// bit keeps seq-keyed flow IDs out of the MSHR entry-ID space.
+			sp.vm.tr.Emit(stats.Event{Cycle: now, Cat: "xlat", Name: "walk", Ph: 's',
+				ID: seq | 1<<63, Tenant: sp.tenant})
+		}
 	}
 	return ready
+}
+
+// StallUntil is a poll-free peek at an in-flight translation: it
+// reports the ready cycle of instruction seq's pending transaction, or
+// ok=false when seq has none. It never probes the TLBs or retires the
+// transaction, so observers (the CPI classifier) can call it freely.
+func (sp *Space) StallUntil(seq uint64) (int64, bool) {
+	x, ok := sp.inflight[seq]
+	if !ok {
+		return 0, false
+	}
+	return x.ready, true
+}
+
+// InFlight reports whether instruction seq currently has a pending
+// translation transaction. Like StallUntil it is a pure peek.
+func (sp *Space) InFlight(seq uint64) bool {
+	_, ok := sp.inflight[seq]
+	return ok
 }
 
 // lookupPage resolves one virtual page through the hierarchy and

@@ -106,6 +106,12 @@ type mshrEntry struct {
 	demanded   bool
 	classified bool
 	demandAt   int64
+
+	// qosDelay is the QoS credit-yield penalty the channel scheduler
+	// stamped on this fill's completion: cycles the request sat eligible
+	// but deferred so another tenant could use the channel. The CPI
+	// classifier drains it through the handle's TakeQoSYield cursor.
+	qosDelay int64
 }
 
 // MSHRFile is the miss-status holding register file shared by the
@@ -190,6 +196,10 @@ func (f *MSHRFile) resolve(e *mshrEntry, done int64) {
 	if f.tr != nil {
 		f.tr.Emit(stats.Event{Cycle: e.at, Dur: done - e.at, Cat: "mshr", Name: "fill",
 			Addr: e.line, ID: e.id, Tenant: dram.TenantOf(e.id)})
+		// Close the entry's causal flow chain at the fill cycle; the
+		// core opened it ('s') at the issuing instruction.
+		f.tr.Emit(stats.Event{Cycle: done, Cat: "dep", Name: "mem", Ph: 'f',
+			ID: e.id, Tenant: dram.TenantOf(e.id)})
 	}
 	f.classifyPrefetch(e)
 }
@@ -279,6 +289,7 @@ func (f *MSHRFile) flush() {
 				continue
 			}
 			if e := f.pendByID[c.ID]; e != nil {
+				e.qosDelay = c.QoSDelay
 				f.resolve(e, c.Done)
 			}
 		}
@@ -332,6 +343,8 @@ func (f *MSHRFile) allocate(addr uint64, at int64) (*mshrEntry, int64) {
 	f.st.Allocs++
 	if f.tr != nil {
 		f.tr.Emit(stats.Event{Cycle: at, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id, Tenant: f.tenant})
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "dep", Name: "mem", Ph: 't',
+			ID: e.id, Tenant: f.tenant})
 	}
 	occ := f.Outstanding() // already counts the just-appended entry
 	f.st.OccSum += uint64(occ)
@@ -397,11 +410,14 @@ func (f *MSHRFile) RegisterFor(tenant int, batch []dram.Request, pfTouch []PFTou
 			f.st.Allocs++
 			if f.tr != nil {
 				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "mshr", Name: "alloc", Addr: e.line, ID: e.id, Tenant: f.tenant})
+				f.tr.Emit(stats.Event{Cycle: r.At, Cat: "dep", Name: "mem", Ph: 't',
+					ID: e.id, Tenant: f.tenant})
 			}
 			r.ID = e.id
 			f.pending = append(f.pending, r)
 			f.pendByID[e.id] = e
 			p.entries = append(p.entries, e)
+			p.fresh = append(p.fresh, e.id)
 		}
 		if len(f.pending) > 0 {
 			f.span = 1
@@ -454,10 +470,17 @@ func (f *MSHRFile) RegisterFor(tenant int, batch []dram.Request, pfTouch []PFTou
 			continue
 		}
 		e, at := f.allocate(r.Addr, r.At)
+		if at > r.At {
+			// The allocation waited on a full file; bank the stall so the
+			// CPI classifier can charge the head's wait to MSHRFull
+			// before blaming main memory.
+			p.fullStall += at - r.At
+		}
 		r.At, r.ID = at, e.id
 		f.pending = append(f.pending, r)
 		f.pendByID[e.id] = e
 		p.entries = append(p.entries, e)
+		p.fresh = append(p.fresh, e.id)
 		contribute()
 	}
 	for _, t := range pfTouch {
@@ -615,6 +638,10 @@ func (f *MSHRFile) injectPrefetch(line uint64, at int64) {
 	f.pf.st.Issued++
 	if f.tr != nil {
 		f.tr.Emit(stats.Event{Cycle: at, Cat: "pf", Name: "fire", Addr: line, ID: e.id, Tenant: f.tenant})
+		// Prefetch-originated chains start here rather than at a core
+		// instruction; the MSHR fill closes them like any demand chain.
+		f.tr.Emit(stats.Event{Cycle: at, Cat: "dep", Name: "mem", Ph: 's',
+			ID: e.id, Tenant: f.tenant})
 	}
 }
 
@@ -630,6 +657,69 @@ type Pending struct {
 	base     int64
 	resolved bool
 	done     int64
+
+	// fresh holds the IDs of the entries this instruction's primary
+	// misses allocated (merged secondary misses excluded) — the flow
+	// chains the issuing instruction originates.
+	fresh []uint64
+
+	// fullStall and qosTaken are the CPI classifier's stall-attribution
+	// budgets. fullStall is the remaining cycles this instruction's
+	// allocations spent waiting on a full MSHR file; qosTaken is the
+	// cursor into the QoS-yield cycles stamped on resolved entries.
+	// Both drain monotonically, so charging n cycles one at a time and
+	// charging them in one bulk call consume identically — the property
+	// that keeps the step and wheel engines' CPI stacks bit-identical.
+	fullStall int64
+	qosTaken  int64
+}
+
+// FreshIDs returns the MSHR entry IDs this instruction's primary
+// misses allocated, for originating causal flow chains. Merged
+// secondary misses are excluded — their chains belong to the
+// instruction that filed the primary miss.
+func (p *Pending) FreshIDs() []uint64 { return p.fresh }
+
+// TakeFullStall consumes up to n cycles of the handle's MSHR
+// full-stall budget and returns how many were taken.
+func (p *Pending) TakeFullStall(n uint64) uint64 {
+	if p.fullStall <= 0 || n == 0 {
+		return 0
+	}
+	take := uint64(p.fullStall)
+	if take > n {
+		take = n
+	}
+	p.fullStall -= int64(take)
+	return take
+}
+
+// TakeQoSYield consumes up to n cycles of the QoS-yield budget the
+// channel scheduler stamped on this handle's resolved fills and
+// returns how many were taken. Only resolved entries contribute (an
+// unresolved fill's penalty is unknown), and resolution only happens
+// at flush points — never during classification — so the available
+// budget is constant across any window the classifier charges.
+func (p *Pending) TakeQoSYield(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	var avail int64
+	for _, e := range p.entries {
+		if e.resolved {
+			avail += e.qosDelay
+		}
+	}
+	avail -= p.qosTaken
+	if avail <= 0 {
+		return 0
+	}
+	take := uint64(avail)
+	if take > n {
+		take = n
+	}
+	p.qosTaken += int64(take)
+	return take
 }
 
 // force resolves the handle from its entries, which must all be
